@@ -1,0 +1,59 @@
+"""SIM-SCALE — blocking vs network size (extension experiment).
+
+The paper evaluates at 8x8; a natural question it leaves open is how
+the optimal-vs-heuristic gap scales.  Each doubling of an Omega adds a
+stage, so an address-mapped circuit must win one more link lottery per
+hop, while the optimal scheduler keeps solving the global matching.
+
+Regenerates: blocking vs N in {8, 16, 32} for both policies at 0.8
+density.  Expected shape: the heuristic deteriorates with N; the
+optimal scheduler stays near zero.
+
+Timed kernel: one optimal cycle at N = 32.
+"""
+
+import pytest
+
+from repro.core import OptimalScheduler
+from repro.networks import omega
+from repro.sim.blocking import estimate_blocking
+from repro.sim.workload import WorkloadSpec, sample_instance
+from repro.util.tables import Table
+
+SIZES = (8, 16, 32)
+TRIALS = 60
+
+
+@pytest.mark.benchmark(group="sim-scale")
+def test_blocking_vs_network_size(benchmark, capsys):
+    table = Table(
+        ["N", "stages", "optimal P(block)", "heuristic P(block)", "gap"],
+        title="SIM-SCALE: blocking vs Omega size (d=0.8)",
+    )
+    heuristic_curve = []
+    optimal_curve = []
+    for n in SIZES:
+        spec = WorkloadSpec(builder=omega, n_ports=n,
+                            request_density=0.8, free_density=0.8)
+        opt = estimate_blocking(spec, "optimal", trials=TRIALS, seed=31)
+        heur = estimate_blocking(spec, "random_binding", trials=TRIALS, seed=31)
+        optimal_curve.append(opt.probability)
+        heuristic_curve.append(heur.probability)
+        gap = heur.probability / max(opt.probability, 1e-3)
+        table.add_row(n, n.bit_length() - 1, f"{opt.probability:.3f}",
+                      f"{heur.probability:.3f}", f"{gap:.0f}x")
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    # Shape: heuristic gets worse with size; optimal stays tiny.
+    assert heuristic_curve[-1] > heuristic_curve[0], heuristic_curve
+    assert all(p < 0.05 for p in optimal_curve), optimal_curve
+
+    spec = WorkloadSpec(builder=omega, n_ports=32,
+                        request_density=0.8, free_density=0.8)
+
+    def kernel():
+        m = sample_instance(spec, 5)
+        return len(OptimalScheduler().schedule(m))
+
+    benchmark(kernel)

@@ -1,0 +1,71 @@
+"""DIST — distributed token architecture vs the monitor architecture.
+
+Paper claim (Section IV): *"the token-propagation architecture has two
+factors that contribute to a significant speedup as compared to a
+monitor architecture: 1) the augmenting paths are searched in
+parallel, and 2) the time complexity is measured in gate delays
+instead of instruction cycles.  As a result, the scheduling algorithm
+will run at a much higher speed than a software implementation."*
+
+Regenerates: clocks (distributed) vs instructions (monitor) per
+scheduling cycle across network sizes, plus the speedup under the
+paper-era assumption that an instruction cycle costs ~100 gate delays.
+Both architectures must find identical optima.
+
+Timed kernels: one distributed cycle and one monitor cycle at N=16.
+"""
+
+import pytest
+
+from benchmarks.conftest import random_loaded_mrsin
+from repro.distributed import DistributedScheduler, MonitorScheduler
+from repro.util.tables import Table
+
+SIZES = (8, 16, 32)
+GATE_DELAYS_PER_INSTRUCTION = 100  # a conservative 1980s CPI model
+
+
+@pytest.mark.benchmark(group="dist")
+def test_distributed_vs_monitor_report(benchmark, capsys):
+    table = Table(
+        ["N", "allocations", "distributed clocks", "monitor instructions",
+         "speedup (@100 gd/instr)"],
+        title="DIST: distributed token architecture vs monitor",
+    )
+    speedups = []
+    for n in SIZES:
+        clocks = instructions = allocs = 0
+        for seed in range(5):
+            m = random_loaded_mrsin(seed, n=n)
+            dist = DistributedScheduler().schedule(m)
+            mon = MonitorScheduler().schedule(m)
+            assert len(dist.mapping) == len(mon.mapping), "architectures must agree"
+            clocks += dist.clocks
+            instructions += mon.instructions
+            allocs += len(dist.mapping)
+        speedup = instructions * GATE_DELAYS_PER_INSTRUCTION / clocks
+        speedups.append(speedup)
+        table.add_row(n, allocs, clocks, int(instructions), f"{speedup:.0f}x")
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    # "Significant speedup" — and growing with network size, since the
+    # monitor serialises what the tokens do in parallel.
+    assert all(s > 100 for s in speedups), speedups
+    assert speedups[-1] > speedups[0], "speedup must grow with network size"
+
+    def kernel():
+        m = random_loaded_mrsin(0, n=16)
+        return DistributedScheduler().schedule(m).clocks
+
+    benchmark(kernel)
+
+
+@pytest.mark.benchmark(group="dist")
+def test_monitor_cycle_time(benchmark):
+    """Wall-clock of the software (monitor) cycle for comparison."""
+    def kernel():
+        m = random_loaded_mrsin(0, n=16)
+        return MonitorScheduler().schedule(m).instructions
+
+    assert benchmark(kernel) > 0

@@ -1,0 +1,84 @@
+"""EXHAUSTIVE — the complexity cliff motivating Section III.
+
+Paper claim: *"Exhaustive methods that examine all possible ordered
+mappings have exponential complexity ... The scheduler has to try a
+maximum of C(x,y) y! mappings ... Suboptimal heuristics can be used
+but it is only practical when x and y are small.  In this section, we
+transform the optimal request-resource mapping problem into various
+network flow problems for which many efficient algorithms exist."*
+
+Regenerates: candidate-mapping counts and wall-clock of exhaustive
+search vs the flow scheduler as x = y grows on a free 8x8 Omega —
+identical optima, factorial vs polynomial cost.
+
+Timed kernels: exhaustive and flow scheduling at x = y = 5.
+"""
+
+import time
+
+import pytest
+
+from repro.core import (
+    MRSIN,
+    OptimalScheduler,
+    Request,
+    count_candidate_mappings,
+    exhaustive_schedule,
+)
+from repro.networks import omega
+from repro.util.tables import Table
+
+
+def instance(x: int) -> MRSIN:
+    """x requesters and x free resources on omega(8)."""
+    m = MRSIN(omega(8))
+    for r in range(x, 8):
+        m.resources[r].busy = True
+    for p in range(x):
+        m.submit(Request(p))
+    return m
+
+
+@pytest.mark.benchmark(group="exhaustive")
+def test_exhaustive_vs_flow_report(benchmark, capsys):
+    table = Table(
+        ["x=y", "candidate mappings C(x,y)y!", "exhaustive [ms]", "flow [ms]", "both optimal"],
+        title="EXHAUSTIVE: brute force vs flow transformation (omega-8)",
+    )
+    exhaustive_times = []
+    flow_times = []
+    for x in (2, 3, 4, 5, 6):
+        m1, m2 = instance(x), instance(x)
+        t0 = time.perf_counter()
+        ex = exhaustive_schedule(m1)
+        t1 = time.perf_counter()
+        opt = OptimalScheduler().schedule(m2)
+        t2 = time.perf_counter()
+        assert len(ex) == len(opt) == x, "both must fully allocate"
+        exhaustive_times.append(t1 - t0)
+        flow_times.append(t2 - t1)
+        table.add_row(x, count_candidate_mappings(x, x),
+                      f"{(t1 - t0) * 1e3:.2f}", f"{(t2 - t1) * 1e3:.2f}", "yes")
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    # The cliff: exhaustive cost explodes relative to flow cost.
+    ratio_small = exhaustive_times[0] / max(flow_times[0], 1e-9)
+    ratio_large = exhaustive_times[-1] / max(flow_times[-1], 1e-9)
+    assert ratio_large > 5 * ratio_small, (
+        f"exhaustive/flow ratio must blow up: {ratio_small:.1f} -> {ratio_large:.1f}"
+    )
+
+    def kernel():
+        return len(OptimalScheduler().schedule(instance(5)))
+
+    assert benchmark(kernel) == 5
+
+
+@pytest.mark.benchmark(group="exhaustive")
+def test_exhaustive_kernel_time(benchmark):
+    """Wall-clock of the brute-force search at x = y = 5."""
+    def kernel():
+        return len(exhaustive_schedule(instance(5)))
+
+    assert benchmark(kernel) == 5

@@ -1,0 +1,54 @@
+"""FIG10/TAB1 — the status bus and the global state machine.
+
+Paper claims: seven events suffice to synchronise the distributed
+architecture (Table I); the MRSIN walks the Fig. 10 diagram with bus
+vectors ``111000x`` (request tokens) → ``111001x`` (RS got token) →
+``110100x`` (resource tokens) → ``110110x`` (registration), iterating
+until no augmenting path remains, then allocating.
+
+Regenerates: the observed state/bus-vector sequence of a scheduling
+cycle.  Timed kernel: one full distributed scheduling cycle.
+"""
+
+import pytest
+
+from benchmarks.conftest import random_loaded_mrsin
+from repro.distributed import DistributedScheduler, GlobalState
+from repro.util.tables import Table
+
+PAPER_VECTORS = {
+    GlobalState.REQUEST_PROPAGATION: "111000",
+    GlobalState.TOKEN_STOP: "111001",
+    GlobalState.RESOURCE_PROPAGATION: "110100",
+    GlobalState.PATH_REGISTRATION: "110110",
+}
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_state_machine(benchmark, capsys):
+    m = random_loaded_mrsin(seed=1)
+    outcome = DistributedScheduler().schedule(m)
+
+    # Every traced vector matches the paper's six significant bits
+    # (the 7th, E7, is the paper's "don't care" x).
+    for state, bus in zip(outcome.state_trace, outcome.bus_trace):
+        expected = PAPER_VECTORS.get(state)
+        if expected is not None:
+            assert bus[:6] == expected, (state, bus)
+    assert outcome.state_trace[-1] is GlobalState.ALLOCATION
+
+    table = Table(["#", "bus (E1..E7)", "state", "paper vector"],
+                  title="FIG10/TAB1: one scheduling cycle")
+    for i, (state, bus) in enumerate(zip(outcome.state_trace, outcome.bus_trace)):
+        table.add_row(i, bus, state.value, (PAPER_VECTORS.get(state, "-") + "x")
+                      if state in PAPER_VECTORS else "-")
+    with capsys.disabled():
+        print("\n" + table.render())
+        print(f"iterations: {outcome.iterations}, clock periods: {outcome.clocks}, "
+              f"allocations: {len(outcome.mapping)}")
+
+    def kernel():
+        inst = random_loaded_mrsin(seed=1)
+        return len(DistributedScheduler().schedule(inst).mapping)
+
+    assert benchmark(kernel) == len(outcome.mapping)

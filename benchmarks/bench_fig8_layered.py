@@ -1,0 +1,78 @@
+"""FIG8 — layered-network construction with a flow-cancelling arc.
+
+Paper setup (Fig. 8): a 4x4 MRSIN where processors p1, p2, p4 request
+and resources r1, r3, r4 are free; the initial mapping
+``{(p1, r4), (p4, r1)}`` blocks p2.  The layered network built from
+that flow contains a *backward* arc (6→5 reversing the flow on 5→6),
+exposing the augmenting path that reallocates and serves all three.
+
+Regenerates: the layered structure, the backward arc, and the final
+allocation count.  Timed kernel: ``build_layered_network``.
+"""
+
+import pytest
+
+from repro.flows.dinic import build_layered_network, dinic
+from repro.flows.graph import FlowNetwork
+from repro.util.tables import Table
+
+
+def fig8_network_with_flow() -> FlowNetwork:
+    """Fig. 8(a)-equivalent: value-2 flow that blocks the p2 request."""
+    net = FlowNetwork()
+    net.add_arc("s", "p1", 1)
+    net.add_arc("s", "p2", 1)
+    net.add_arc("s", "p4", 1)
+    net.add_arc("p1", "n4", 1)
+    net.add_arc("p2", "n4", 1)
+    net.add_arc("p4", "n5", 1)
+    net.add_arc("n4", "n6", 1)
+    net.add_arc("n4", "n7", 1)
+    net.add_arc("n5", "n6", 1)
+    net.add_arc("n5", "n7", 1)
+    net.add_arc("n6", "r1", 1)
+    net.add_arc("n6", "r4", 1)
+    net.add_arc("n7", "r3", 1)
+    net.add_arc("r1", "t", 1)
+    net.add_arc("r3", "t", 1)
+    net.add_arc("r4", "t", 1)
+    for tail, head in (
+        ("s", "p1"), ("p1", "n4"), ("n4", "n6"), ("n6", "r4"), ("r4", "t"),
+        ("s", "p4"), ("p4", "n5"), ("n5", "n7"), ("n7", "r3"), ("r3", "t"),
+    ):
+        net.find_arcs(tail, head)[0].flow = 1.0
+    return net
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_layered_network(benchmark, capsys):
+    net = fig8_network_with_flow()
+    layered = build_layered_network(net, "s", "t")
+
+    assert layered.reaches_sink
+    backward = [
+        (node, arc.tail, arc.head)
+        for node, moves in layered.moves.items()
+        for arc, fwd in moves
+        if not fwd
+    ]
+    assert backward, "the Fig. 8(b) layered network must contain a backward arc"
+
+    # Completing Dinic serves the blocked request: all 3 resources.
+    result = dinic(net, "s", "t")
+    assert result.value == 3
+
+    table = Table(["quantity", "paper", "measured"], title="FIG8: layered network")
+    table.add_row("initial allocations", 2, 2)
+    table.add_row("layered-network depth", "6 layers", layered.depth)
+    table.add_row("backward (cancelling) arcs", ">= 1 (arc 6->5)",
+                  [f"{u}->{v} reversed at {n}" for n, v, u in backward])
+    table.add_row("allocations after augmentation", 3, int(result.value))
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    def kernel():
+        fresh = fig8_network_with_flow()
+        return build_layered_network(fresh, "s", "t").depth
+
+    assert benchmark(kernel) == layered.depth

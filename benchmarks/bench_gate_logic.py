@@ -1,0 +1,64 @@
+"""DIST-GATES — the NS hardware cost claim, in concrete numbers.
+
+Paper claim (Section IV-B): the per-switchbox process *"can be
+realized easily by a finite-state machine ... The design has a very
+low gate count and a very short token propagation delay"*, which is
+what lets scheduling speed be *"limited only by the switching delay of
+logic gates"*.
+
+Regenerates: two-input gate count (with common-subexpression sharing)
+and critical-path depth of the request-phase decision logic for NS
+sizes 2x2 .. 8x8, plus per-output evaluation cost.
+
+Timed kernel: evaluating the full 2x2 equation set once (the work one
+NS does per clock period, in our software model of the hardware).
+"""
+
+import pytest
+
+from repro.distributed.logic import depth, ns_request_logic, shared_gate_count
+from repro.util.tables import Table
+
+
+@pytest.mark.benchmark(group="dist-gates")
+def test_ns_gate_cost_report(benchmark, capsys):
+    table = Table(
+        ["NS size", "outputs", "2-input gates (shared)", "critical path [gate delays]"],
+        title="DIST-GATES: NS request-phase combinational logic",
+    )
+    counts = []
+    for size in (2, 3, 4, 8):
+        logic = ns_request_logic(size, size)
+        gates = shared_gate_count(logic.values())
+        crit = max(depth(e) for e in logic.values())
+        counts.append(gates)
+        table.add_row(f"{size}x{size}", len(logic), gates, crit)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    # "Very low gate count": a 2x2 NS decision logic is well under a
+    # hundred gates, and growth with port count is linear-ish.
+    assert counts[0] < 100
+    assert counts[-1] < counts[0] * 8
+
+    logic = ns_request_logic(2, 2)
+    env = {
+        name: False
+        for name in (
+            ["e3", "fired"]
+            + [f"tok_in_{i}" for i in range(2)]
+            + [f"tok_out_{o}" for o in range(2)]
+            + [f"mark_in_{i}" for i in range(2)]
+            + [f"mark_out_{o}" for o in range(2)]
+            + [f"reg_in_{i}" for i in range(2)]
+            + [f"reg_out_{o}" for o in range(2)]
+            + [f"occ_out_{o}" for o in range(2)]
+        )
+    }
+    env["e3"] = True
+    env["tok_in_0"] = True
+
+    def kernel():
+        return sum(expr.evaluate(env) for expr in logic.values())
+
+    assert benchmark(kernel) > 0

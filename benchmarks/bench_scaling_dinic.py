@@ -1,0 +1,88 @@
+"""COMPLEX — empirical scaling of Dinic on unit-capacity MRSIN networks.
+
+Paper claim (Section III-B): on general networks Dinic is
+``O(|E|^3)``-bounded [sic: ``O(|V|^2 |E|)`` in Dinic's paper]; *"In
+our case, the links have unit capacity, and the time complexity is
+reduced to O(|V|^{2/3} |E|)"* (Even–Tarjan).
+
+Regenerates: operation counts (arc scans) of Dinic on transformed
+Omega MRSINs of growing size, against the ``|V|^{2/3} |E|`` envelope.
+For an N-port Omega, ``|V| = Θ(N log N)`` and ``|E| = Θ(N log N)``,
+so the bound predicts growth ≈ ``(N log N)^{5/3}``; the measured
+fitted exponent must not exceed it (in practice it is far smaller —
+the bound is a worst case).
+
+Timed kernels: one full max-flow per network size (one benchmark entry
+per N, same group, so the report shows the scaling).
+"""
+
+import math
+
+import pytest
+
+from repro.core import MRSIN, Request
+from repro.core.transform import transformation1
+from repro.flows.dinic import dinic
+from repro.networks import omega
+from repro.util.counters import OpCounter
+from repro.util.tables import Table
+
+SIZES = (8, 16, 32, 64, 128)
+
+
+def full_load_problem(n: int):
+    m = MRSIN(omega(n))
+    for p in range(n):
+        m.submit(Request(p))
+    return transformation1(m)
+
+
+def measured_ops(n: int) -> tuple[int, int, int]:
+    problem = full_load_problem(n)
+    counter = OpCounter()
+    result = dinic(problem.net, "s", "t", counter=counter)
+    assert result.value == n
+    return counter["arc_scan"], problem.net.n_nodes, problem.net.n_arcs
+
+
+@pytest.mark.benchmark(group="scaling-dinic")
+def test_dinic_scaling_report(benchmark, capsys):
+    rows = [measured_ops(n) for n in SIZES]
+    table = Table(["N", "|V|", "|E|", "arc scans", "bound |V|^(2/3)|E|", "scans/bound"],
+                  title="COMPLEX: Dinic on unit-capacity MRSIN flow networks")
+    ratios = []
+    for n, (ops, nv, ne) in zip(SIZES, rows):
+        bound = nv ** (2 / 3) * ne
+        ratios.append(ops / bound)
+        table.add_row(n, nv, ne, ops, f"{bound:.0f}", f"{ops / bound:.3f}")
+    with capsys.disabled():
+        print("\n" + table.render())
+        # Fitted growth exponent in |E| between first and last point.
+        e0, e1 = rows[0][2], rows[-1][2]
+        o0, o1 = rows[0][0], rows[-1][0]
+        exponent = math.log(o1 / o0) / math.log(e1 / e0)
+        print(f"fitted exponent (ops vs |E|): {exponent:.2f} "
+              f"(Even–Tarjan bound allows 5/3 ≈ 1.67 in |E| with |V| = Θ(|E|))")
+
+    # The bound must never be exceeded, and the ratio must not grow —
+    # i.e., the measured complexity is within O(|V|^{2/3}|E|).
+    for r in ratios:
+        assert r < 1.0, f"operations exceeded the Even–Tarjan envelope: {ratios}"
+    assert ratios[-1] <= ratios[0] * 1.5, f"ratio growing: {ratios}"
+
+    def kernel():
+        problem = full_load_problem(64)
+        return dinic(problem.net, "s", "t").value
+
+    assert benchmark(kernel) == 64
+
+
+@pytest.mark.benchmark(group="scaling-dinic")
+@pytest.mark.parametrize("n", SIZES)
+def test_dinic_maxflow_time(benchmark, n):
+    """Wall-clock per network size (one group row per N)."""
+    def kernel():
+        problem = full_load_problem(n)
+        return dinic(problem.net, "s", "t").value
+
+    assert benchmark(kernel) == n

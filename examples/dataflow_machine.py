@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Dennis-style data flow computer as a resource sharing system (Fig. 1(b)).
+
+In Dennis' architecture, *cell blocks* emit enabled instructions that
+must be routed to any free *processing unit*; the processing units are
+the shared resource pool and an RSIN connects the two sides.  This
+example drives the queueing simulator with that workload shape and
+compares optimal scheduling against blind address mapping over a range
+of instruction-firing rates — showing the throughput/response-time
+payoff of the RSIN's distributed scheduling intelligence.
+
+Run:  python examples/dataflow_machine.py
+"""
+
+from repro.core import MRSIN
+from repro.networks import omega
+from repro.sim.queueing import simulate_queueing
+from repro.util.tables import Table
+
+
+def main() -> None:
+    n = 8
+    print(f"data flow machine: {n} cell blocks -> omega({n}) RSIN -> "
+          f"{n} processing units")
+    print("(instructions fire at each cell block with rate λ; a processing "
+          "unit executes one instruction in ~1.0 time units)\n")
+
+    table = Table(
+        ["firing rate λ", "policy", "PU utilization", "mean response", "completed"],
+        title="steady state over 400 time units (20 warmup)",
+    )
+    for rate in (0.3, 0.6, 0.9):
+        for policy in ("optimal", "random_binding"):
+            system = MRSIN(omega(n))
+            res = simulate_queueing(
+                system,
+                policy=policy,
+                arrival_rate=rate,
+                mean_service=1.0,
+                transmission_time=0.05,
+                horizon=400.0,
+                warmup=20.0,
+                seed=7,
+            )
+            table.add_row(rate, policy, f"{res.utilization:.2f}",
+                          f"{res.mean_response:.2f}", res.completed)
+    print(table.render())
+
+    # At high firing rates the optimal scheduler sustains visibly more
+    # completed instructions: blocked instructions waste PU idle time.
+    opt = simulate_queueing(MRSIN(omega(n)), policy="optimal",
+                            arrival_rate=0.9, horizon=400.0, seed=7)
+    blind = simulate_queueing(MRSIN(omega(n)), policy="random_binding",
+                              arrival_rate=0.9, horizon=400.0, seed=7)
+    gain = opt.completed / max(blind.completed, 1)
+    print(f"\nthroughput at λ=0.9: optimal completes {opt.completed}, "
+          f"address mapping {blind.completed} ({gain:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

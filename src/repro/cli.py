@@ -1,0 +1,266 @@
+"""Command-line interface: run schedulers and experiments from a shell.
+
+Examples
+--------
+::
+
+    python -m repro schedule --network omega --ports 8 --policy optimal --render
+    python -m repro blocking --network cube --policy random_binding --trials 200
+    python -m repro sweep --network omega --policies optimal greedy random_binding
+    python -m repro queueing --network omega --rate 0.8 --policy optimal
+    python -m repro tokens --seed 31
+
+Every command is a thin wrapper over the library API and prints the
+same tables the benchmark harness generates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.core import MRSIN, OptimalScheduler, Request
+from repro.core.heuristic import arbitrary_schedule, greedy_schedule, random_binding_schedule
+from repro.distributed import DistributedScheduler
+from repro.networks import (
+    baseline,
+    benes,
+    clos,
+    crossbar,
+    cube,
+    data_manipulator,
+    delta,
+    extra_stage_omega,
+    flip,
+    gamma,
+    omega,
+)
+from repro.networks.render import render_circuits, render_network
+from repro.sim.blocking import POLICIES, estimate_blocking
+from repro.sim.queueing import simulate_queueing
+from repro.sim.runner import sweep as run_sweep
+from repro.sim.workload import WorkloadSpec, sample_instance
+from repro.util.tables import Table
+
+__all__ = ["main", "TOPOLOGIES"]
+
+TOPOLOGIES: dict[str, Callable[[int], object]] = {
+    "omega": omega,
+    "flip": flip,
+    "cube": cube,
+    "delta": delta,
+    "baseline": baseline,
+    "benes": benes,
+    "gamma": gamma,
+    "data_manipulator": data_manipulator,
+    "crossbar": lambda n: crossbar(n, n),
+    "clos": lambda n: clos(max(n // 2, 1), 2, max(n // 2, 1)),
+    "omega+1": lambda n: extra_stage_omega(n, 1),
+    "omega+2": lambda n: extra_stage_omega(n, 2),
+}
+
+
+def _spec(args) -> WorkloadSpec:
+    return WorkloadSpec(
+        builder=TOPOLOGIES[args.network],
+        n_ports=args.ports,
+        request_density=args.request_density,
+        free_density=args.free_density,
+        occupied_circuits=args.occupied,
+    )
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--network", choices=sorted(TOPOLOGIES), default="omega")
+    p.add_argument("--ports", type=int, default=8, help="network size N")
+    p.add_argument("--request-density", type=float, default=1.0)
+    p.add_argument("--free-density", type=float, default=1.0)
+    p.add_argument("--occupied", type=int, default=0,
+                   help="circuits pre-established before scheduling")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def cmd_schedule(args) -> int:
+    """One scheduling cycle; print the mapping (and optionally the net)."""
+    m = sample_instance(_spec(args), args.seed)
+    if args.policy == "optimal":
+        mapping = OptimalScheduler().schedule(m)
+    elif args.policy == "distributed":
+        mapping = DistributedScheduler().schedule(m).mapping
+    elif args.policy == "greedy":
+        mapping = greedy_schedule(m, order="random", rng=args.seed)
+    elif args.policy == "random_binding":
+        mapping = random_binding_schedule(m, rng=args.seed)
+    else:
+        mapping = arbitrary_schedule(m)
+    n_req = len(m.schedulable_requests())
+    print(f"{m.network.name}: {n_req} requests, "
+          f"{len(m.free_resources())} free resources")
+    print(f"{args.policy} allocated {len(mapping)}: {sorted(mapping.pairs)}")
+    if args.render:
+        m.apply_mapping(mapping)
+        busy = {r.index for r in m.resources if r.busy}
+        print()
+        print(render_network(m.network, busy))
+        print()
+        print(render_circuits(m.network))
+    return 0
+
+
+def cmd_blocking(args) -> int:
+    """Monte Carlo blocking estimate for one policy."""
+    est = estimate_blocking(_spec(args), args.policy, trials=args.trials, seed=args.seed)
+    lo, hi = est.ci95
+    print(f"{args.policy} on {args.network}-{args.ports}: "
+          f"P(block) = {est.probability:.4f}  [95% CI {lo:.4f}, {hi:.4f}]  "
+          f"({est.blocked}/{est.possible} over {est.trials} trials)")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Blocking sweep over request/free densities for several policies."""
+    points = []
+    for d in args.densities:
+        spec = WorkloadSpec(builder=TOPOLOGIES[args.network], n_ports=args.ports,
+                            request_density=d, free_density=d,
+                            occupied_circuits=args.occupied)
+        points.append((f"d={d:g}", spec))
+    result = run_sweep(
+        f"blocking sweep on {args.network}-{args.ports}",
+        points, args.policies, trials=args.trials, seed=args.seed,
+    )
+    print(result.render())
+    return 0
+
+
+def cmd_queueing(args) -> int:
+    """Steady-state queueing run (utilization / response time)."""
+    m = MRSIN(TOPOLOGIES[args.network](args.ports))
+    res = simulate_queueing(
+        m, policy=args.policy, arrival_rate=args.rate,
+        mean_service=args.service, horizon=args.horizon, seed=args.seed,
+    )
+    table = Table(["metric", "value"], title=f"queueing: {args.network}-{args.ports}, "
+                  f"λ={args.rate:g}, policy={args.policy}")
+    table.add_row("offered load", f"{res.offered_load:.2f}")
+    table.add_row("resource utilization", f"{res.utilization:.3f}")
+    table.add_row("mean response time", f"{res.mean_response:.3f}")
+    table.add_row("mean queue length", f"{res.mean_queue:.3f}")
+    table.add_row("tasks completed", res.completed)
+    print(table.render())
+    return 0
+
+
+def cmd_tokens(args) -> int:
+    """Trace one distributed (token-propagation) scheduling cycle."""
+    m = sample_instance(_spec(args), args.seed)
+    outcome = DistributedScheduler(record=True).schedule(m)
+    print(f"iterations: {outcome.iterations}, clocks: {outcome.clocks}, "
+          f"allocated: {len(outcome.mapping)}")
+    for state, bus in zip(outcome.state_trace, outcome.bus_trace):
+        print(f"  [{bus}] {state.value}")
+    if args.verbose:
+        for t in outcome.token_trace:
+            print(f"  it{t.iteration} {t.phase:>8s} clk{t.clock:3d}: {t.detail}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Compact paper-vs-measured report (a fast subset of benchmarks/)."""
+    trials = args.trials
+    table = Table(["claim (paper)", "measured"], title="reproduction snapshot")
+    # 1. Blocking probabilities (SIM-BLOCK).
+    spec = WorkloadSpec(builder=TOPOLOGIES["omega"], n_ports=8,
+                        request_density=0.8, free_density=0.8)
+    opt = estimate_blocking(spec, "optimal", trials=trials, seed=1)
+    heur = estimate_blocking(spec, "random_binding", trials=trials, seed=1)
+    table.add_row("optimal blocking < 5% (~2%)", f"{opt.probability:.1%}")
+    table.add_row("heuristic blocking ~20%", f"{heur.probability:.1%}")
+    # 2. Distributed == software optimum, and its clock cost.
+    agree = 0
+    clocks = 0
+    for seed in range(max(trials // 5, 3)):
+        m = sample_instance(spec, 1000 + seed)
+        a = len(OptimalScheduler().schedule(m))
+        out = DistributedScheduler().schedule(m)
+        agree += a == len(out.mapping)
+        clocks += out.clocks
+    n_checks = max(trials // 5, 3)
+    table.add_row("distributed = software optimum",
+                  f"{agree}/{n_checks} instances agree")
+    table.add_row("distributed cost (gate-delay clocks/cycle)",
+                  f"{clocks / n_checks:.0f}")
+    # 3. Table II disciplines all dispatch and solve.
+    from repro.core import MRSIN, Request
+
+    m = MRSIN(TOPOLOGIES["omega"](8), resource_types=["a", "b"] * 4)
+    for p in range(4):
+        m.submit(Request(p, resource_type="ab"[p % 2], priority=1 + p))
+    hetero = OptimalScheduler().schedule(m)
+    table.add_row("heterogeneous+priority discipline (Simplex)",
+                  f"{len(hetero)}/4 typed requests served")
+    print(table.render())
+    print("\nfull harness: pytest benchmarks/ --benchmark-only  "
+          "(details in EXPERIMENTS.md)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resource-sharing interconnection network experiments "
+                    "(Juang & Wah, ICPP'86 / IEEE TC'89 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="run one scheduling cycle")
+    _add_workload_args(p)
+    p.add_argument("--policy", default="optimal",
+                   choices=["optimal", "distributed", "greedy", "random_binding", "arbitrary"])
+    p.add_argument("--render", action="store_true", help="draw the network state")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("blocking", help="estimate blocking probability")
+    _add_workload_args(p)
+    p.add_argument("--policy", default="optimal", choices=sorted(POLICIES))
+    p.add_argument("--trials", type=int, default=100)
+    p.set_defaults(func=cmd_blocking)
+
+    p = sub.add_parser("sweep", help="blocking sweep over densities")
+    _add_workload_args(p)
+    p.add_argument("--policies", nargs="+", default=["optimal", "random_binding"],
+                   choices=sorted(POLICIES))
+    p.add_argument("--densities", nargs="+", type=float, default=[0.5, 0.75, 1.0])
+    p.add_argument("--trials", type=int, default=100)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("queueing", help="discrete-event queueing simulation")
+    _add_workload_args(p)
+    p.add_argument("--policy", default="optimal",
+                   choices=["optimal", "greedy", "random_binding"])
+    p.add_argument("--rate", type=float, default=0.5, help="arrival rate per processor")
+    p.add_argument("--service", type=float, default=1.0, help="mean service time")
+    p.add_argument("--horizon", type=float, default=200.0)
+    p.set_defaults(func=cmd_queueing)
+
+    p = sub.add_parser("tokens", help="trace the distributed token architecture")
+    _add_workload_args(p)
+    p.add_argument("--verbose", action="store_true", help="print every token move")
+    p.set_defaults(func=cmd_tokens)
+
+    p = sub.add_parser("report", help="compact paper-vs-measured snapshot")
+    p.add_argument("--trials", type=int, default=60)
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Exhaustive-search scheduling — the straw man Section III retires.
+
+The paper opens Section III with the cost of doing scheduling the
+obvious way: *"Exhaustive methods that examine all possible ordered
+mappings have exponential complexity.  In a homogeneous MRSIN, suppose
+x processors are making requests, y resources are available ... The
+scheduler has to try a maximum of C(x,y) y! (for x >= y) or C(y,x) x!
+(for y >= x) mappings to find the best one."*
+
+This module implements exactly that search: enumerate request→resource
+pairings, check each pairing's simultaneous realisability by
+backtracking over concrete link-disjoint paths, and keep the best
+mapping under the same objective the flow formulation optimises.  It
+is exponential and exists for two purposes:
+
+- a ground-truth **oracle** for property tests on small instances
+  (the flow schedulers must match it exactly);
+- the **EXHAUSTIVE experiment**: measuring the complexity cliff the
+  paper's transformations avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.mapping import Assignment, Mapping
+from repro.core.model import MRSIN
+from repro.core.requests import Request
+from repro.core.transform import bypass_cost
+
+__all__ = ["exhaustive_schedule", "mapping_objective_cost", "count_candidate_mappings"]
+
+
+def count_candidate_mappings(x: int, y: int) -> int:
+    """The paper's search-space size: ``C(x,y) y!`` or ``C(y,x) x!``.
+
+    Both expressions equal the number of injective partial pairings of
+    min(x, y) items into the larger side, i.e. falling factorials.
+    """
+    from math import comb, factorial
+
+    if x >= y:
+        return comb(x, y) * factorial(y)
+    return comb(y, x) * factorial(x)
+
+
+def mapping_objective_cost(mrsin: MRSIN, requests: Sequence[Request], mapping: Mapping) -> float:
+    """The Transformation 2 objective value of a concrete mapping.
+
+    ``sum over served [(ymax - y_p) + (qmax - q_w)] + sum over
+    bypassed [(ymax - y_p) + 2*penalty + y_p]`` — identical to the
+    min-cost flow's total cost, so exhaustive and flow results are
+    directly comparable.  For priority-free systems this reduces to a
+    monotone function of the allocation count.
+    """
+    penalty = bypass_cost(mrsin)
+    served = {a.request.processor: a for a in mapping.assignments}
+    total = 0.0
+    for req in requests:
+        total += mrsin.max_priority - req.priority
+        if req.processor in served:
+            total += mrsin.max_preference - served[req.processor].resource.preference
+        else:
+            total += 2 * penalty + req.priority
+    return total
+
+
+def _realize(mrsin: MRSIN, pairs: list[tuple[Request, int]], idx: int,
+             chosen: list[tuple[Request, int, tuple]]) -> bool:
+    """Backtracking search for simultaneous circuits for ``pairs``."""
+    if idx == len(pairs):
+        return True
+    req, res = pairs[idx]
+    net = mrsin.network
+    for path in net.enumerate_free_paths(req.processor, res):
+        circuit = net.establish_circuit(path)
+        chosen.append((req, res, tuple(path)))
+        if _realize(mrsin, pairs, idx + 1, chosen):
+            net.release_circuit(circuit)
+            return True
+        chosen.pop()
+        net.release_circuit(circuit)
+    return False
+
+
+def exhaustive_schedule(
+    mrsin: MRSIN,
+    requests: Sequence[Request] | None = None,
+    *,
+    max_mappings: int = 2_000_000,
+) -> Mapping:
+    """Optimal mapping by brute force over all candidate pairings.
+
+    Enumerates pairings largest-cardinality first, so for priority-free
+    systems the search can stop at the first realisable pairing of each
+    size tier only after confirming no larger tier works; with
+    priorities it scans the whole tier for the cheapest realisable
+    mapping.  ``max_mappings`` guards against accidental use on large
+    instances (the whole point is that this blows up).
+    """
+    reqs = mrsin.schedulable_requests() if requests is None else list(requests)
+    free = mrsin.free_resources()
+    best: Mapping | None = None
+    best_cost = float("inf")
+    examined = 0
+    for k in range(min(len(reqs), len(free)), 0, -1):
+        tier_best: Mapping | None = None
+        tier_cost = float("inf")
+        from itertools import combinations
+
+        for req_subset in combinations(reqs, k):
+            # Typed pools: each request may only pair with matching types.
+            candidates = [
+                [res.index for res in free if res.resource_type == r.resource_type]
+                for r in req_subset
+            ]
+            # Enumerate injective assignments subset -> resources.
+            def assignments(i: int, used: frozenset[int]):
+                if i == k:
+                    yield []
+                    return
+                for res in candidates[i]:
+                    if res in used:
+                        continue
+                    for rest in assignments(i + 1, used | {res}):
+                        yield [(req_subset[i], res)] + rest
+
+            for pairing in assignments(0, frozenset()):
+                examined += 1
+                if examined > max_mappings:
+                    raise RuntimeError(
+                        f"exhaustive search exceeded {max_mappings} mappings "
+                        "(that is the paper's point — use OptimalScheduler)"
+                    )
+                chosen: list[tuple[Request, int, tuple]] = []
+                if not _realize(mrsin, pairing, 0, chosen):
+                    continue
+                mapping = Mapping([
+                    Assignment(request=req, resource=mrsin.resources[res], path=path)
+                    for req, res, path in chosen
+                ])
+                cost = mapping_objective_cost(mrsin, reqs, mapping)
+                if cost < tier_cost:
+                    tier_cost = cost
+                    tier_best = mapping
+        if tier_best is not None:
+            best, best_cost = tier_best, tier_cost
+            break  # a realisable k-mapping always beats any (k-1)-mapping
+    return best if best is not None else Mapping()

@@ -1,0 +1,216 @@
+"""The MRSIN: a network bound to a resource pool and a request queue.
+
+This is the system model of Section II, items 1–5: circuit switching,
+one resource per request, one outstanding transmission per processor,
+and the two-phase lifetime of an allocation — *"The circuit between a
+processor and a resource can be released once the request has been
+transmitted.  The processor can continue to make other requests, while
+the resource will be busy until the task is completed."*
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.mapping import Mapping
+from repro.core.requests import DEFAULT_TYPE, Request, Resource
+from repro.networks.topology import Circuit, MultistageNetwork
+
+__all__ = ["MRSIN"]
+
+
+class MRSIN:
+    """A multistage resource sharing interconnection network.
+
+    Parameters
+    ----------
+    network:
+        The physical interconnection network.  Input ports are
+        processors; each output port carries one resource.
+    resource_types:
+        Type of the resource on each output port (defaults to a
+        homogeneous pool of :data:`~repro.core.requests.DEFAULT_TYPE`).
+    preferences:
+        Preference value per resource (defaults to all 1).
+    max_priority, max_preference:
+        The scales ``ymax`` / ``qmax`` of Transformation 2 (the
+        paper's Fig. 5 uses 10 for both).
+    """
+
+    def __init__(
+        self,
+        network: MultistageNetwork,
+        *,
+        resource_types: Sequence[Hashable] | None = None,
+        preferences: Sequence[int] | None = None,
+        max_priority: int = 10,
+        max_preference: int = 10,
+    ) -> None:
+        n_res = network.n_resources
+        if resource_types is None:
+            resource_types = [DEFAULT_TYPE] * n_res
+        if preferences is None:
+            preferences = [1] * n_res
+        if len(resource_types) != n_res or len(preferences) != n_res:
+            raise ValueError(
+                f"need {n_res} resource types/preferences, got "
+                f"{len(resource_types)}/{len(preferences)}"
+            )
+        self.network = network
+        self.resources = [
+            Resource(i, resource_types[i], preferences[i]) for i in range(n_res)
+        ]
+        self.max_priority = max_priority
+        self.max_preference = max_preference
+        self.pending: list[Request] = []
+        # resource index -> circuit currently transmitting into it.
+        self._transmitting: dict[int, Circuit] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_processors(self) -> int:
+        """Number of processors (network input ports)."""
+        return self.network.n_processors
+
+    @property
+    def n_resources(self) -> int:
+        """Number of resources (network output ports)."""
+        return self.network.n_resources
+
+    @property
+    def resource_types(self) -> set[Hashable]:
+        """Distinct resource types in the pool."""
+        return {res.resource_type for res in self.resources}
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """More than one resource type present."""
+        return len(self.resource_types) > 1
+
+    @property
+    def has_priorities(self) -> bool:
+        """Any non-default priority or preference in play."""
+        return any(req.priority != 1 for req in self.pending) or any(
+            res.preference != 1 for res in self.resources
+        )
+
+    def free_resources(self, resource_type: Hashable | None = None) -> list[Resource]:
+        """Available resources, optionally filtered by type."""
+        return [
+            res
+            for res in self.resources
+            if res.available
+            and (resource_type is None or res.resource_type == resource_type)
+        ]
+
+    def requesting_processors(self) -> set[int]:
+        """Processors with at least one pending request."""
+        return {req.processor for req in self.pending}
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Queue a request for the next scheduling cycle.
+
+        Model item 5: a processor transmits one task at a time, so at
+        most one request per processor may be *scheduled* per cycle;
+        extra requests simply stay queued.  The processor index must
+        exist on the network.
+        """
+        if not 0 <= request.processor < self.n_processors:
+            raise ValueError(
+                f"processor {request.processor} outside [0, {self.n_processors})"
+            )
+        if request.resource_type not in self.resource_types:
+            raise ValueError(
+                f"no resource of type {request.resource_type!r} in this system"
+            )
+        self.pending.append(request)
+
+    def submit_many(self, requests: Iterable[Request]) -> None:
+        """Queue several requests."""
+        for req in requests:
+            self.submit(req)
+
+    def schedulable_requests(self) -> list[Request]:
+        """At most one pending request per processor, in queue order.
+
+        Also excludes processors whose input link is still occupied by
+        an in-flight transmission.
+        """
+        chosen: dict[int, Request] = {}
+        for req in self.pending:
+            if req.processor in chosen:
+                continue
+            if self.network.processor_link(req.processor).occupied:
+                continue
+            chosen[req.processor] = req
+        return list(chosen.values())
+
+    # ------------------------------------------------------------------
+    # Allocation lifecycle
+    # ------------------------------------------------------------------
+    def apply_mapping(self, mapping: Mapping) -> list[Circuit]:
+        """Realise a mapping: establish circuits, mark resources busy.
+
+        The mapping is validated first; on success each served request
+        is removed from the queue and its resource enters the *busy*
+        state with an active transmission circuit.
+        """
+        mapping.validate(self)
+        circuits = []
+        for a in mapping.assignments:
+            circuit = self.network.establish_circuit(list(a.path))
+            self.resources[a.resource.index].busy = True
+            self._transmitting[a.resource.index] = circuit
+            if a.request in self.pending:
+                self.pending.remove(a.request)
+            circuits.append(circuit)
+        return circuits
+
+    def complete_transmission(self, resource_index: int) -> None:
+        """Release the circuit into a resource; the resource stays busy.
+
+        Model item 5: circuits are held only for the task transmission,
+        not for the whole service time.
+        """
+        circuit = self._transmitting.pop(resource_index, None)
+        if circuit is None:
+            raise ValueError(f"resource {resource_index} has no transmitting circuit")
+        self.network.release_circuit(circuit)
+
+    def complete_service(self, resource_index: int) -> None:
+        """Mark a resource free again (its task finished).
+
+        Implicitly completes any transmission still in flight.
+        """
+        res = self.resources[resource_index]
+        if not res.busy:
+            raise ValueError(f"resource {resource_index} is not busy")
+        if resource_index in self._transmitting:
+            self.complete_transmission(resource_index)
+        res.busy = False
+
+    def reset(self) -> None:
+        """Drop all requests, circuits, and busy states."""
+        self.pending.clear()
+        self._transmitting.clear()
+        self.network.release_all()
+        for res in self.resources:
+            res.busy = False
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of resources currently busy."""
+        if not self.resources:
+            return 0.0
+        return sum(res.busy for res in self.resources) / len(self.resources)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MRSIN({self.network.name!r}, pending={len(self.pending)}, "
+            f"free={len(self.free_resources())}/{self.n_resources})"
+        )

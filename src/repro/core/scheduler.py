@@ -1,0 +1,229 @@
+"""The optimal scheduler facade — the paper's Table II dispatch.
+
+==============================  ============================  ==================
+Scheduling discipline           Equivalent flow problem        Algorithms
+==============================  ============================  ==================
+Homogeneous, no priority        Maximum flow                   Ford–Fulkerson, Dinic
+Homogeneous, priority/pref.     Min-cost flow                  Out-of-kilter (or SSP)
+Heterogeneous, restricted       Real multicommodity LP         Simplex
+Heterogeneous, general          Integer multicommodity         Branch & bound (NP-hard)
+==============================  ============================  ==================
+
+:class:`OptimalScheduler` inspects the MRSIN (heterogeneous? priorities
+in play?) and runs the matching transformation + solver, returning a
+:class:`~repro.core.mapping.Mapping` ready for
+:meth:`~repro.core.model.MRSIN.apply_mapping`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.mapping import Mapping
+from repro.core.model import MRSIN
+from repro.core.requests import Request
+from repro.core.transform import (
+    extract_mapping,
+    extract_multicommodity_mapping,
+    heterogeneous_max_problem,
+    heterogeneous_min_cost_problem,
+    transformation1,
+    transformation2,
+)
+from repro.flows.dinic import dinic
+from repro.flows.maxflow import edmonds_karp, ford_fulkerson
+from repro.flows.mincost import cycle_cancel_min_cost, min_cost_flow
+from repro.flows.multicommodity import (
+    solve_integral_multicommodity,
+    solve_max_multicommodity,
+    solve_min_cost_multicommodity,
+)
+from repro.flows.network_simplex import network_simplex
+from repro.flows.out_of_kilter import out_of_kilter
+from repro.flows.push_relabel import push_relabel
+from repro.flows.validate import check_flow, is_integral
+from repro.util.counters import OpCounter
+
+__all__ = ["Discipline", "OptimalScheduler", "SchedulerStats"]
+
+
+class Discipline(enum.Enum):
+    """The four scheduling disciplines of Table II."""
+
+    HOMOGENEOUS = "homogeneous"
+    PRIORITY = "homogeneous+priority"
+    HETEROGENEOUS = "heterogeneous"
+    HETEROGENEOUS_PRIORITY = "heterogeneous+priority"
+
+
+@dataclass
+class SchedulerStats:
+    """Bookkeeping from the last :meth:`OptimalScheduler.schedule` call."""
+
+    discipline: Discipline | None = None
+    flow_value: float = 0.0
+    flow_cost: float = 0.0
+    n_requests: int = 0
+    n_allocated: int = 0
+
+    @property
+    def blocking_fraction(self) -> float:
+        """Requests *not* served this cycle, as a fraction."""
+        if self.n_requests == 0:
+            return 0.0
+        return 1.0 - self.n_allocated / self.n_requests
+
+
+MAXFLOW_ALGORITHMS = {
+    "dinic": dinic,
+    "edmonds_karp": edmonds_karp,
+    "ford_fulkerson": ford_fulkerson,
+    "push_relabel": push_relabel,
+}
+
+MINCOST_ALGORITHMS = ("out_of_kilter", "ssp", "cycle_cancel", "network_simplex")
+
+
+class OptimalScheduler:
+    """Optimal request→resource mapping via network-flow reductions.
+
+    Parameters
+    ----------
+    maxflow:
+        ``"dinic"`` (default — the algorithm the paper's distributed
+        architecture realises), ``"edmonds_karp"``,
+        ``"ford_fulkerson"``, or ``"push_relabel"``.
+    mincost:
+        ``"out_of_kilter"`` (default — the paper's named algorithm),
+        ``"ssp"`` (successive shortest paths), ``"cycle_cancel"``, or
+        ``"network_simplex"``.
+    counter:
+        Optional :class:`~repro.util.counters.OpCounter` charged with
+        abstract operations (the monitor architecture's cost model).
+    """
+
+    def __init__(
+        self,
+        *,
+        maxflow: str = "dinic",
+        mincost: str = "out_of_kilter",
+        counter: OpCounter | None = None,
+    ) -> None:
+        if maxflow not in MAXFLOW_ALGORITHMS:
+            raise ValueError(f"unknown maxflow algorithm {maxflow!r}")
+        if mincost not in MINCOST_ALGORITHMS:
+            raise ValueError(f"unknown mincost algorithm {mincost!r}")
+        self.maxflow = maxflow
+        self.mincost = mincost
+        self.counter = counter
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------
+    def classify(self, mrsin: MRSIN, requests: Sequence[Request] | None = None) -> Discipline:
+        """Which Table II row applies to this system right now."""
+        reqs = mrsin.schedulable_requests() if requests is None else list(requests)
+        hetero = len({r.resource_type for r in reqs} | set()) > 1 or mrsin.is_heterogeneous
+        priority = any(r.priority != 1 for r in reqs) or any(
+            res.preference != 1 for res in mrsin.resources
+        )
+        if hetero and priority:
+            return Discipline.HETEROGENEOUS_PRIORITY
+        if hetero:
+            return Discipline.HETEROGENEOUS
+        if priority:
+            return Discipline.PRIORITY
+        return Discipline.HOMOGENEOUS
+
+    def schedule(
+        self,
+        mrsin: MRSIN,
+        requests: Sequence[Request] | None = None,
+        *,
+        discipline: Discipline | None = None,
+    ) -> Mapping:
+        """Compute the optimal mapping for the current cycle.
+
+        ``requests`` defaults to
+        :meth:`~repro.core.model.MRSIN.schedulable_requests`.  The
+        discipline is auto-detected unless forced (e.g. to run the
+        priority machinery on a priority-free instance in ablations).
+        """
+        reqs = mrsin.schedulable_requests() if requests is None else list(requests)
+        if discipline is None:
+            discipline = self.classify(mrsin, reqs)
+        self.stats = SchedulerStats(discipline=discipline, n_requests=len(reqs))
+        if not reqs:
+            return Mapping()
+        if discipline is Discipline.HOMOGENEOUS:
+            mapping = self._schedule_homogeneous(mrsin, reqs)
+        elif discipline is Discipline.PRIORITY:
+            mapping = self._schedule_priority(mrsin, reqs)
+        elif discipline is Discipline.HETEROGENEOUS:
+            mapping = self._schedule_heterogeneous(mrsin, reqs)
+        else:
+            mapping = self._schedule_heterogeneous_priority(mrsin, reqs)
+        self.stats.n_allocated = len(mapping)
+        return mapping
+
+    # ------------------------------------------------------------------
+    def _schedule_homogeneous(self, mrsin: MRSIN, reqs: Sequence[Request]) -> Mapping:
+        problem = transformation1(mrsin, reqs)
+        algorithm = MAXFLOW_ALGORITHMS[self.maxflow]
+        result = algorithm(problem.net, problem.source, problem.sink, counter=self.counter)
+        assert is_integral(problem.net), "unit-capacity max flow must be integral"
+        check_flow(problem.net, problem.source, problem.sink)
+        self.stats.flow_value = result.value
+        return extract_mapping(problem, mrsin)
+
+    def _schedule_priority(self, mrsin: MRSIN, reqs: Sequence[Request]) -> Mapping:
+        problem = transformation2(mrsin, reqs)
+        assert problem.required_flow is not None
+        if self.mincost == "out_of_kilter":
+            result = out_of_kilter(
+                problem.net, problem.source, problem.sink,
+                target_flow=problem.required_flow, counter=self.counter,
+            )
+        elif self.mincost == "network_simplex":
+            result = network_simplex(
+                problem.net, problem.source, problem.sink,
+                target_flow=problem.required_flow, counter=self.counter,
+            )
+        elif self.mincost == "ssp":
+            result = min_cost_flow(
+                problem.net, problem.source, problem.sink,
+                target_flow=problem.required_flow, counter=self.counter,
+            )
+        else:
+            result = cycle_cancel_min_cost(
+                problem.net, problem.source, problem.sink,
+                target_flow=problem.required_flow, counter=self.counter,
+            )
+        assert is_integral(problem.net), "0-1 min-cost flow must be integral"
+        check_flow(problem.net, problem.source, problem.sink)
+        self.stats.flow_value = result.value
+        self.stats.flow_cost = result.cost
+        return extract_mapping(problem, mrsin)
+
+    def _schedule_heterogeneous(self, mrsin: MRSIN, reqs: Sequence[Request]) -> Mapping:
+        problem, meta = heterogeneous_max_problem(mrsin, reqs)
+        result = solve_max_multicommodity(problem)
+        if not result.integral:
+            # General-topology fallback: the NP-hard integral problem,
+            # via branch and bound on the LP relaxation.
+            result = solve_integral_multicommodity(problem)
+        self.stats.flow_value = result.total_flow
+        return extract_multicommodity_mapping(result, problem, meta, mrsin)
+
+    def _schedule_heterogeneous_priority(self, mrsin: MRSIN, reqs: Sequence[Request]) -> Mapping:
+        problem, meta = heterogeneous_min_cost_problem(mrsin, reqs)
+        result = solve_min_cost_multicommodity(problem)
+        if not result.integral:
+            raise NotImplementedError(
+                "fractional heterogeneous min-cost optimum on a general topology; "
+                "the paper notes the integral problem is NP-hard"
+            )
+        self.stats.flow_value = result.total_flow
+        self.stats.flow_cost = result.cost
+        return extract_multicommodity_mapping(result, problem, meta, mrsin)

@@ -1,0 +1,45 @@
+"""Section IV: architectures that carry out the optimal scheduling.
+
+Two realisations of the scheduling algorithms are provided, mirroring
+the paper's comparison:
+
+- :mod:`repro.distributed.monitor` — the **monitor architecture**
+  (Fig. 6): a dedicated processor runs the flow algorithm in software;
+  cost is measured in executed instructions.
+- :mod:`repro.distributed.simulator` — the **distributed
+  token-propagation architecture** (Figs. 9–10): every switchbox hosts
+  an autonomous finite-state process; Dinic's algorithm emerges from
+  request/resource token propagation synchronised by a 7-bit wired-OR
+  status bus; cost is measured in clock periods of gate delay.
+
+Supporting modules: :mod:`repro.distributed.events` (Table I events and
+the status bus), :mod:`repro.distributed.elements` (RQ/RS/NS state),
+and :mod:`repro.distributed.machine` (the Fig. 10 global state
+diagram).
+"""
+
+from repro.distributed.events import Event, StatusBus
+from repro.distributed.machine import GlobalState, next_state
+from repro.distributed.elements import NodeServer, RequestServer, ResourceServer
+from repro.distributed.simulator import DistributedOutcome, DistributedScheduler
+from repro.distributed.monitor import MonitorOutcome, MonitorScheduler, INSTRUCTION_WEIGHTS
+from repro.distributed.logic import ns_request_logic, gate_count, shared_gate_count, depth
+
+__all__ = [
+    "Event",
+    "StatusBus",
+    "GlobalState",
+    "next_state",
+    "NodeServer",
+    "RequestServer",
+    "ResourceServer",
+    "DistributedOutcome",
+    "DistributedScheduler",
+    "MonitorOutcome",
+    "MonitorScheduler",
+    "INSTRUCTION_WEIGHTS",
+    "ns_request_logic",
+    "gate_count",
+    "shared_gate_count",
+    "depth",
+]

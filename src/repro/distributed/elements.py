@@ -1,0 +1,175 @@
+"""The three element types of the distributed MRSIN (Fig. 9).
+
+*"A processor is connected to the network through a request server
+(RQ), a resource is monitored by a resource server (RS), and each
+switchbox is controlled by an independent process (NS)."*
+
+These classes hold the per-element state the token-propagation
+protocol needs: port markings (the implicit layered-network
+representation), tentative *registered* pairings (partial switch
+settings built up across iterations of a scheduling cycle), and the
+RQ/RS bonding bits.  The propagation rules themselves live in
+:mod:`repro.distributed.simulator`.
+
+Ports are keyed ``("in", p)`` / ``("out", p)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.requests import Request
+from repro.networks.topology import Link
+
+__all__ = ["PortKey", "RequestServer", "ResourceServer", "NodeServer"]
+
+PortKey = tuple[str, int]
+
+
+@dataclass
+class RequestServer:
+    """RQ: fronts one processor.
+
+    ``bonded`` is set when a resource token reaches it; its binding
+    status bit in the paper.  ``request`` is the request it is trying
+    to place this scheduling cycle (None = idle).
+    """
+
+    processor: int
+    link: Link
+    request: Request | None = None
+    bonded: bool = False
+
+    @property
+    def wants_token(self) -> bool:
+        """Should this RQ emit a request token this iteration?"""
+        return self.request is not None and not self.bonded and not self.link.occupied
+
+
+@dataclass
+class ResourceServer:
+    """RS: monitors one resource.
+
+    ``ready`` mirrors resource availability; ``got_token`` records
+    whether a request token arrived this iteration (the E6 trigger);
+    ``bonded`` is permanent for the scheduling cycle once a resource
+    token from here reaches an RQ.
+    """
+
+    resource: int
+    link: Link
+    ready: bool = False
+    got_token: bool = False
+    bonded: bool = False
+
+    @property
+    def can_accept(self) -> bool:
+        """Whether an arriving request token should be accepted."""
+        return self.ready and not self.bonded
+
+
+@dataclass
+class NodeServer:
+    """NS: the autonomous process in one switchbox.
+
+    Persistent state (lives for the scheduling cycle):
+
+    - ``pairs``: registered in-port → out-port connections, the
+      tentative switch setting the registered paths imply;
+
+    Per-iteration state (reset by :meth:`reset_iteration`):
+
+    - ``fired``: whether the first batch of request tokens arrived;
+    - ``received``: ports where request tokens arrived, in order (the
+      *entry* ports a returning resource token may leave through);
+    - ``sent``: ports request tokens were sent from (the only ports a
+      resource token may arrive at);
+    - ``consumed``: entry ports already claimed by a resource token.
+    """
+
+    stage: int
+    index: int
+    in_links: list[Link | None]
+    out_links: list[Link | None]
+    pairs: dict[int, int] = field(default_factory=dict)
+    fired: bool = False
+    received: list[PortKey] = field(default_factory=list)
+    sent: set[PortKey] = field(default_factory=set)
+    consumed: set[PortKey] = field(default_factory=set)
+
+    def reset_iteration(self) -> None:
+        """Erase the iteration-local markings (keep registered pairs)."""
+        self.fired = False
+        self.received.clear()
+        self.sent.clear()
+        self.consumed.clear()
+
+    # ------------------------------------------------------------------
+    def link_at(self, port: PortKey) -> Link:
+        """The physical link wired to ``port``."""
+        side, p = port
+        link = self.in_links[p] if side == "in" else self.out_links[p]
+        if link is None:
+            raise ValueError(f"NS({self.stage},{self.index}) port {port} unwired")
+        return link
+
+    def available_entry(self) -> PortKey | None:
+        """First marked entry port not yet claimed by a resource token."""
+        for port in self.received:
+            if port not in self.consumed:
+                return port
+        return None
+
+    def clear_entry(self, port: PortKey) -> None:
+        """Erase a fruitless entry marking (the backtracking rule)."""
+        if port in self.received:
+            self.received.remove(port)
+        self.consumed.discard(port)
+
+    # ------------------------------------------------------------------
+    # Registered-pairing updates (applied at path registration)
+    # ------------------------------------------------------------------
+    def pair_in_of(self, out_port: int) -> int:
+        """The in-port currently registered to feed ``out_port``."""
+        for i, o in self.pairs.items():
+            if o == out_port:
+                return i
+        raise KeyError(f"no registered pairing into out-port {out_port}")
+
+    def apply_pass(self, entry: PortKey, sent: PortKey) -> None:
+        """Update pairings for one augmenting path crossing this NS.
+
+        ``entry`` is the port the request token arrived at (the
+        upstream side of the new path segment); ``sent`` the port it
+        was duplicated to (downstream side).  New-flow ports attach
+        directly; cancellation ports splice the old registered path:
+
+        - entry at a *free in* link: upstream attach = that in-port;
+        - entry at a *registered out* link (cancellation): upstream
+          attach = the in-port the old pairing fed it from;
+        - sent via a *free out* link: downstream attach = that out-port;
+        - sent via a *registered in* link (cancellation): downstream
+          attach = the out-port the old pairing sent it to.
+        """
+        e_side, e_port = entry
+        s_side, s_port = sent
+        if e_side == "out" and s_side == "in" and self.pairs.get(s_port) == e_port:
+            # Both cancellations hit the SAME old pairing: the
+            # augmenting path expels the old registered path from this
+            # box entirely (its in- and out-links are both cancelled),
+            # so the pairing simply disappears.
+            del self.pairs[s_port]
+            return
+        if e_side == "in":
+            upstream = e_port
+        else:
+            upstream = self.pair_in_of(e_port)
+            del self.pairs[upstream]
+        if s_side == "out":
+            downstream = s_port
+        else:
+            downstream = self.pairs.pop(s_port)
+        self.pairs[upstream] = downstream
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeServer({self.stage},{self.index}, pairs={self.pairs})"

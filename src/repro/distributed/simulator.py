@@ -1,0 +1,464 @@
+"""Clock-driven simulation of the distributed token-propagation MRSIN.
+
+This module realises Section IV-B: Dinic's maximum-flow algorithm
+executed *by the network itself*.  Each scheduling cycle iterates three
+phases, synchronised over the status bus:
+
+1. **Request-token propagation** (builds the layered network,
+   Theorem 4): every unbonded requesting RQ emits a token; each NS,
+   on its *first batch* of arrivals, duplicates the token to all free
+   unmarked output ports (forward) and registered unmarked input ports
+   (backward = flow cancellation), marking all receiving and sending
+   ports.  Tokens traverse one link per clock.  The phase ends the
+   clock an RS receives a token (E6) or when no tokens remain
+   propagating (no augmenting path — cycle over).
+
+2. **Resource-token propagation** (finds a maximal flow of the layered
+   network): each token-holding free RS sends a single resource token
+   back; an NS routes it out of an unconsumed *entry* port (a port a
+   request token arrived at), backtracking — and erasing markings —
+   when none is available.  A token reaching an RQ bonds the pair;
+   a token backtracking into its RS is discarded.
+
+3. **Path registration**: links along each successful token's path
+   flip state (free → registered; registered → free for cancelled
+   flow), and each traversed NS splices its registered pairings.
+
+When an iteration finds no augmenting path, surviving registered links
+become the allocated circuits: the scheduler reads the mapping off the
+registered paths and returns it (leaving the physical network
+untouched, like the software schedulers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.mapping import Assignment, Mapping
+from repro.core.model import MRSIN
+from repro.core.requests import Request
+from repro.distributed.elements import NodeServer, PortKey, RequestServer, ResourceServer
+from repro.distributed.events import Event, StatusBus
+from repro.distributed.machine import GlobalState, next_state
+from repro.networks.topology import Link, MultistageNetwork, PortRef
+
+__all__ = ["DistributedOutcome", "DistributedScheduler", "TokenTrace"]
+
+
+@dataclass
+class TokenTrace:
+    """Per-phase token activity, for the examples and figures."""
+
+    iteration: int
+    phase: str
+    clock: int
+    detail: str
+
+
+@dataclass
+class DistributedOutcome:
+    """Result of one distributed scheduling cycle.
+
+    Attributes
+    ----------
+    mapping:
+        The optimal request→resource mapping found.
+    iterations:
+        Dinic phases executed (layered networks built).
+    clocks:
+        Total clock periods consumed — the distributed architecture's
+        cost unit (gate delays, not instructions).
+    state_trace:
+        The Fig. 10 global states traversed, in order.
+    bus_trace:
+        Status-bus vectors sampled at each state transition.
+    token_trace:
+        Optional per-clock token log (``record=True``).
+    """
+
+    mapping: Mapping
+    iterations: int
+    clocks: int
+    state_trace: list[GlobalState] = field(default_factory=list)
+    bus_trace: list[str] = field(default_factory=list)
+    token_trace: list[TokenTrace] = field(default_factory=list)
+
+
+class _ResourceToken:
+    """A propagating resource token (one per candidate RS)."""
+
+    __slots__ = ("rs", "location", "arrived_at", "trail", "done", "failed")
+
+    def __init__(self, rs: ResourceServer) -> None:
+        self.rs = rs
+        # location: ("rs", rs) | ("ns", NodeServer) | ("rq", RequestServer)
+        self.location: tuple = ("rs", rs)
+        self.arrived_at: PortKey | None = None  # port of current NS we sit at
+        # trail: moves so far: ("rs-link", link) | (ns, entry, sent, link)
+        self.trail: list = []
+        self.done = False
+        self.failed = False
+
+
+class DistributedScheduler:
+    """Token-propagation realisation of the optimal homogeneous scheduler.
+
+    Functionally equivalent to
+    ``OptimalScheduler(maxflow="dinic")`` on homogeneous MRSINs
+    without priorities (the paper: distributed implementations only
+    pay off for this discipline); additionally reports hardware-level
+    cost in clock periods.
+    """
+
+    def __init__(self, *, record: bool = False) -> None:
+        self.record = record
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self, mrsin: MRSIN, requests: Sequence[Request] | None = None
+    ) -> DistributedOutcome:
+        """Run one scheduling cycle and return the outcome."""
+        if mrsin.is_heterogeneous:
+            raise ValueError(
+                "the distributed architecture handles homogeneous MRSINs; "
+                "use OptimalScheduler for heterogeneous pools"
+            )
+        net = mrsin.network
+        reqs = mrsin.schedulable_requests() if requests is None else list(requests)
+        bus = StatusBus()
+        outcome = DistributedOutcome(mapping=Mapping(), iterations=0, clocks=0)
+
+        # --- Build the element processes -----------------------------
+        rqs: dict[int, RequestServer] = {}
+        for p in range(net.n_processors):
+            rqs[p] = RequestServer(processor=p, link=net.processor_link(p))
+        for req in reqs:
+            rqs[req.processor].request = req
+            bus.set(("rq", req.processor), Event.REQUEST_PENDING)
+        rss: dict[int, ResourceServer] = {}
+        for r in range(net.n_resources):
+            rs = ResourceServer(resource=r, link=net.resource_link(r))
+            rs.ready = mrsin.resources[r].available and not rs.link.occupied
+            if rs.ready:
+                bus.set(("rs", r), Event.RESOURCE_READY)
+            rss[r] = rs
+        nss: dict[tuple[int, int], NodeServer] = {}
+        for stage_idx, stage in enumerate(net.stages):
+            for box in stage:
+                in_links = [
+                    net.link_to(PortRef.box_in(stage_idx, box.index, p))
+                    for p in range(box.n_in)
+                ]
+                out_links = [
+                    net.link_from(PortRef.box_out(stage_idx, box.index, p))
+                    for p in range(box.n_out)
+                ]
+                nss[(stage_idx, box.index)] = NodeServer(
+                    stage=stage_idx, index=box.index,
+                    in_links=in_links, out_links=out_links,
+                )
+
+        registered: set[int] = set()  # link indices carrying tentative flow
+
+        # --- Fig. 10 driver -------------------------------------------
+        # The bus choreography follows the paper's walkthrough:
+        # 111000x during request propagation; an RS raises E6
+        # (111001x) and tokens stop; E3/E6 drop and E4 rises
+        # (110100x); registration raises E5 (110110x); then E4/E5
+        # drop for the next iteration.
+        state = GlobalState.IDLE
+        self._trace_state(outcome, state, bus)
+        state = next_state(state, bus)
+        while state is GlobalState.REQUEST_PROPAGATION:
+            outcome.iterations += 1
+            bus.set("phase", Event.REQUEST_TOKENS)
+            self._trace_state(outcome, state, bus)           # 111000x
+            found = self._request_phase(outcome, bus, net, rqs, rss, nss, registered)
+            if not found:
+                bus.clear("phase", Event.REQUEST_TOKENS)
+                state = next_state(state, bus)               # -> ALLOCATION
+                break
+            state = next_state(state, bus)                   # -> TOKEN_STOP
+            self._trace_state(outcome, state, bus)           # 111001x
+            outcome.clocks += 1                               # settle period
+            bus.clear("phase", Event.REQUEST_TOKENS)
+            for rs in rss.values():
+                bus.clear(("rs", rs.resource), Event.RESOURCE_GOT_TOKEN)
+            bus.set("phase", Event.RESOURCE_TOKENS)
+            state = next_state(state, bus)                   # -> RESOURCE_PROPAGATION
+            self._trace_state(outcome, state, bus)           # 110100x
+            paths = self._resource_phase(outcome, bus, rqs, rss, nss, registered)
+            bus.set("phase", Event.PATH_REGISTRATION)
+            state = next_state(state, bus)                   # -> PATH_REGISTRATION
+            self._trace_state(outcome, state, bus)           # 110110x
+            self._registration_phase(outcome, bus, paths, nss, registered)
+            bus.clear("phase", Event.RESOURCE_TOKENS)
+            bus.clear("phase", Event.PATH_REGISTRATION)
+            for rs in rss.values():
+                rs.got_token = False
+            for ns in nss.values():
+                ns.reset_iteration()
+            state = next_state(state, bus)                   # next iteration / ALLOCATION
+        self._trace_state(outcome, state, bus)
+
+        # --- Allocation: read the mapping off registered paths --------
+        outcome.clocks += 1
+        outcome.mapping = self._extract_mapping(mrsin, rqs, nss, registered)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _trace_state(self, outcome: DistributedOutcome, state: GlobalState, bus: StatusBus) -> None:
+        outcome.state_trace.append(state)
+        outcome.bus_trace.append(bus.as_string())
+
+    def _log(self, outcome: DistributedOutcome, iteration: int, phase: str, clock: int, detail: str) -> None:
+        if self.record:
+            outcome.token_trace.append(TokenTrace(iteration, phase, clock, detail))
+
+    # ------------------------------------------------------------------
+    def _request_phase(
+        self,
+        outcome: DistributedOutcome,
+        bus: StatusBus,
+        net: MultistageNetwork,
+        rqs: dict[int, RequestServer],
+        rss: dict[int, ResourceServer],
+        nss: dict[tuple[int, int], NodeServer],
+        registered: set[int],
+    ) -> bool:
+        """Phase 1: build the layered network by request tokens.
+
+        Returns True if at least one RS received a token.
+        """
+        iteration = outcome.iterations
+        # arrivals: list of (link, forward) traversals landing this clock.
+        arrivals: list[tuple[Link, bool]] = []
+        for rq in rqs.values():
+            if rq.wants_token and rq.link.index not in registered:
+                arrivals.append((rq.link, True))
+        hit = False
+        while arrivals and not hit:
+            outcome.clocks += 1
+            next_arrivals: list[tuple[Link, bool]] = []
+            # Group arrivals by destination NS so a box sees its whole
+            # first batch at once.
+            fresh: dict[tuple[int, int], list[PortKey]] = {}
+            for link, forward in arrivals:
+                end = link.dst if forward else link.src
+                if end.kind == "res":
+                    rs = rss[end.box]
+                    if rs.can_accept:
+                        rs.got_token = True
+                        bus.set(("rs", rs.resource), Event.RESOURCE_GOT_TOKEN)
+                        hit = True
+                        self._log(outcome, iteration, "request", outcome.clocks,
+                                  f"RS r{rs.resource} received request token")
+                    continue
+                if end.kind == "proc":
+                    # Backward token to a bonded RQ: absorbed.
+                    self._log(outcome, iteration, "request", outcome.clocks,
+                              f"token absorbed at RQ p{end.box}")
+                    continue
+                port: PortKey = ("in", end.port) if end.kind == "box_in" else ("out", end.port)
+                fresh.setdefault((end.stage, end.box), []).append(port)
+            for key, ports in fresh.items():
+                ns = nss[key]
+                if ns.fired:
+                    continue  # later batches are discarded
+                ns.fired = True
+                for port in ports:
+                    if port not in ns.received:
+                        ns.received.append(port)
+                # Duplicate: forward on free unmarked out links,
+                # backward on registered unmarked in links.
+                for p, link in enumerate(ns.out_links):
+                    port = ("out", p)
+                    if link is None or port in ns.received or port in ns.sent:
+                        continue
+                    if link.occupied or link.index in registered:
+                        continue
+                    ns.sent.add(port)
+                    next_arrivals.append((link, True))
+                for p, link in enumerate(ns.in_links):
+                    port = ("in", p)
+                    if link is None or port in ns.received or port in ns.sent:
+                        continue
+                    if link.index not in registered:
+                        continue
+                    ns.sent.add(port)
+                    next_arrivals.append((link, False))
+                self._log(outcome, iteration, "request", outcome.clocks,
+                          f"NS({ns.stage},{ns.index}) fired: recv={ns.received} sent={sorted(ns.sent)}")
+            arrivals = next_arrivals
+        return hit
+
+    # ------------------------------------------------------------------
+    def _resource_phase(
+        self,
+        outcome: DistributedOutcome,
+        bus: StatusBus,
+        rqs: dict[int, RequestServer],
+        rss: dict[int, ResourceServer],
+        nss: dict[tuple[int, int], NodeServer],
+        registered: set[int],
+    ) -> list[_ResourceToken]:
+        """Phase 2: resource tokens search for matching RQs (DFS).
+
+        Returns the tokens that reached an RQ (their trails are the
+        augmenting paths).
+        """
+        iteration = outcome.iterations
+        tokens = [_ResourceToken(rs) for rs in rss.values() if rs.got_token and not rs.bonded]
+        active = [t for t in tokens]
+        while active:
+            outcome.clocks += 1
+            still: list[_ResourceToken] = []
+            for token in active:
+                self._step_resource_token(outcome, iteration, token, rqs, nss, registered)
+                if not (token.done or token.failed):
+                    still.append(token)
+            active = still
+        return [t for t in tokens if t.done]
+
+    def _step_resource_token(
+        self,
+        outcome: DistributedOutcome,
+        iteration: int,
+        token: _ResourceToken,
+        rqs: dict[int, RequestServer],
+        nss: dict[tuple[int, int], NodeServer],
+        registered: set[int],
+    ) -> None:
+        """Advance one resource token by one clock period."""
+        kind = token.location[0]
+        if kind == "rs":
+            # Leave the RS backward along its (free) link to the last
+            # stage NS; arrive at that box's out-port.
+            link = token.rs.link
+            src = link.src
+            ns = nss[(src.stage, src.box)]
+            token.location = ("ns", ns)
+            token.arrived_at = ("out", src.port)
+            token.trail.append(("rs-link", link))
+            self._log(outcome, iteration, "resource", outcome.clocks,
+                      f"token(r{token.rs.resource}) -> NS({ns.stage},{ns.index}) at out:{src.port}")
+            return
+        assert kind == "ns"
+        ns: NodeServer = token.location[1]
+        entry = ns.available_entry()
+        if entry is None:
+            self._backtrack(outcome, iteration, token, nss)
+            return
+        ns.consumed.add(entry)
+        link = ns.link_at(entry)
+        token.trail.append((ns, entry, token.arrived_at, link))
+        side, _ = entry
+        if side == "in":
+            # Reverse a forward request move: travel upstream.
+            upstream = link.src
+            if upstream.kind == "proc":
+                rq = rqs[upstream.box]
+                rq.bonded = True
+                token.done = True
+                token.location = ("rq", rq)
+                self._log(outcome, iteration, "resource", outcome.clocks,
+                          f"token(r{token.rs.resource}) bonded RQ p{rq.processor}")
+            else:
+                nxt = nss[(upstream.stage, upstream.box)]
+                token.location = ("ns", nxt)
+                token.arrived_at = ("out", upstream.port)
+                self._log(outcome, iteration, "resource", outcome.clocks,
+                          f"token(r{token.rs.resource}) -> NS({nxt.stage},{nxt.index}) at out:{upstream.port}")
+        else:
+            # Reverse a backward (cancellation) request move: travel
+            # downstream along the registered link.
+            assert link.index in registered
+            downstream = link.dst
+            nxt = nss[(downstream.stage, downstream.box)]
+            token.location = ("ns", nxt)
+            token.arrived_at = ("in", downstream.port)
+            self._log(outcome, iteration, "resource", outcome.clocks,
+                      f"token(r{token.rs.resource}) cancels -> NS({nxt.stage},{nxt.index}) at in:{downstream.port}")
+
+    def _backtrack(
+        self,
+        outcome: DistributedOutcome,
+        iteration: int,
+        token: _ResourceToken,
+        nss: dict[tuple[int, int], NodeServer],
+    ) -> None:
+        """Retreat one hop, erasing the fruitless entry marking."""
+        last = token.trail.pop()
+        if last[0] == "rs-link":
+            token.failed = True
+            self._log(outcome, iteration, "resource", outcome.clocks,
+                      f"token(r{token.rs.resource}) returned to RS: unmatched")
+            return
+        prev_ns, entry, arrived_at, _link = last
+        prev_ns.clear_entry(entry)  # the backtracking erasure rule
+        token.location = ("ns", prev_ns)
+        token.arrived_at = arrived_at
+        self._log(outcome, iteration, "resource", outcome.clocks,
+                  f"token(r{token.rs.resource}) backtracks to NS({prev_ns.stage},{prev_ns.index})")
+
+    # ------------------------------------------------------------------
+    def _registration_phase(
+        self,
+        outcome: DistributedOutcome,
+        bus: StatusBus,
+        paths: list[_ResourceToken],
+        nss: dict[tuple[int, int], NodeServer],
+        registered: set[int],
+    ) -> None:
+        """Phase 3: flip link states and splice NS pairings."""
+        outcome.clocks += 1
+        for token in paths:
+            token.rs.bonded = True
+            for move in token.trail:
+                if move[0] == "rs-link":
+                    link = move[1]
+                    registered.add(link.index)
+                    continue
+                ns, entry, arrived_at, link = move
+                # Flow XOR on the traversed link.
+                if link.index in registered:
+                    registered.remove(link.index)
+                else:
+                    registered.add(link.index)
+                # Splice pairings.  ``arrived_at`` is the port the
+                # request token was sent from (downstream attach side),
+                # ``entry`` the port it arrived at (upstream side).
+                ns.apply_pass(entry, arrived_at)
+
+    # ------------------------------------------------------------------
+    def _extract_mapping(
+        self,
+        mrsin: MRSIN,
+        rqs: dict[int, RequestServer],
+        nss: dict[tuple[int, int], NodeServer],
+        registered: set[int],
+    ) -> Mapping:
+        """Trace registered paths from bonded RQs into the mapping."""
+        mapping = Mapping()
+        for rq in rqs.values():
+            if not rq.bonded:
+                continue
+            links = [rq.link]
+            assert rq.link.index in registered
+            while links[-1].dst.kind != "res":
+                dst = links[-1].dst
+                ns = nss[(dst.stage, dst.box)]
+                out_port = ns.pairs[dst.port]
+                nxt = ns.out_links[out_port]
+                assert nxt is not None and nxt.index in registered
+                links.append(nxt)
+            resource = links[-1].dst.box
+            mapping.add(
+                Assignment(
+                    request=rq.request,
+                    resource=mrsin.resources[resource],
+                    path=tuple(links),
+                )
+            )
+        return mapping

@@ -1,0 +1,84 @@
+"""Network-flow substrate built from scratch for the RSIN reproduction.
+
+The paper reduces every resource-scheduling discipline to a network
+flow problem (its Table II):
+
+=====================================  =================================
+Scheduling discipline                  Flow problem / algorithm
+=====================================  =================================
+Homogeneous, no priority               Max flow — Ford–Fulkerson, Dinic
+Homogeneous, priority & preference     Min-cost flow — out-of-kilter
+Heterogeneous, restricted topology     Multicommodity LP — Simplex
+Heterogeneous, general topology        Integer multicommodity (NP-hard)
+=====================================  =================================
+
+This subpackage implements all of those solvers natively (NetworkX is
+used only as a cross-check oracle in the test suite):
+
+- :mod:`repro.flows.graph` — the :class:`FlowNetwork` digraph.
+- :mod:`repro.flows.maxflow` — Ford–Fulkerson labeling (BFS/DFS).
+- :mod:`repro.flows.dinic` — Dinic's algorithm with explicit layered
+  networks (the object realized in hardware by Section IV).
+- :mod:`repro.flows.mincut` — min-cut extraction / optimality proof.
+- :mod:`repro.flows.mincost` — successive shortest paths and
+  cycle-canceling minimum-cost flow.
+- :mod:`repro.flows.out_of_kilter` — Fulkerson's out-of-kilter method,
+  the algorithm the paper names for priority scheduling.
+- :mod:`repro.flows.lp` / :mod:`repro.flows.simplex` — a
+  bounded-variable primal Simplex solver.
+- :mod:`repro.flows.multicommodity` — multicommodity max-flow and
+  min-cost-flow via the LP formulations of Section III-D, with a
+  branch-and-bound fallback for integral solutions.
+"""
+
+from repro.flows.graph import Arc, FlowNetwork
+from repro.flows.maxflow import MaxFlowResult, edmonds_karp, ford_fulkerson
+from repro.flows.push_relabel import push_relabel
+from repro.flows.dinic import LayeredNetwork, DinicResult, build_layered_network, dinic
+from repro.flows.mincut import MinCut, min_cut
+from repro.flows.mincost import MinCostResult, min_cost_flow, cycle_cancel_min_cost
+from repro.flows.out_of_kilter import out_of_kilter
+from repro.flows.network_simplex import network_simplex
+from repro.flows.lp import LinearProgram, LPResult, LPStatus
+from repro.flows.simplex import simplex_solve
+from repro.flows.multicommodity import (
+    Commodity,
+    MultiCommodityProblem,
+    MultiCommodityResult,
+    solve_max_multicommodity,
+    solve_min_cost_multicommodity,
+    solve_integral_multicommodity,
+)
+from repro.flows.validate import check_flow, is_integral
+
+__all__ = [
+    "Arc",
+    "FlowNetwork",
+    "MaxFlowResult",
+    "edmonds_karp",
+    "ford_fulkerson",
+    "push_relabel",
+    "LayeredNetwork",
+    "DinicResult",
+    "build_layered_network",
+    "dinic",
+    "MinCut",
+    "min_cut",
+    "MinCostResult",
+    "min_cost_flow",
+    "cycle_cancel_min_cost",
+    "out_of_kilter",
+    "network_simplex",
+    "LinearProgram",
+    "LPResult",
+    "LPStatus",
+    "simplex_solve",
+    "Commodity",
+    "MultiCommodityProblem",
+    "MultiCommodityResult",
+    "solve_max_multicommodity",
+    "solve_min_cost_multicommodity",
+    "solve_integral_multicommodity",
+    "check_flow",
+    "is_integral",
+]

@@ -1,0 +1,273 @@
+"""Minimum-cost flow solvers (Section III-C).
+
+Transformation 2 reduces priority/preference scheduling to finding a
+minimum-cost flow of prescribed value ``F0`` (the number of pending
+requests).  Two independent solvers are provided:
+
+- :func:`min_cost_flow` — successive shortest augmenting paths with
+  node potentials (Bellman–Ford initialisation, Dijkstra per
+  augmentation).  This is the primal–dual method; with integral
+  capacities it returns an integral assignment, the property Theorem 3
+  relies on.
+- :func:`cycle_cancel_min_cost` — negative-cycle canceling on top of
+  any feasible flow; asymptotically slower but structurally unrelated,
+  so the test suite uses it (and the paper's out-of-kilter method in
+  :mod:`repro.flows.out_of_kilter`) to cross-validate optimal costs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.flows.graph import Arc, FlowNetwork
+from repro.flows.maxflow import augment_along, edmonds_karp
+from repro.util.counters import OpCounter
+
+__all__ = ["MinCostResult", "InfeasibleFlowError", "min_cost_flow", "cycle_cancel_min_cost"]
+
+Node = Hashable
+
+
+class InfeasibleFlowError(ValueError):
+    """Raised when the requested flow value cannot be circulated."""
+
+
+@dataclass
+class MinCostResult:
+    """Outcome of a min-cost flow computation.
+
+    Attributes
+    ----------
+    value:
+        Flow value actually circulated.
+    cost:
+        Total cost ``sum w(e) f(e)`` of the final assignment.
+    augmentations:
+        Number of shortest-path augmentations (or cycles cancelled).
+    """
+
+    value: float
+    cost: float
+    augmentations: int
+
+
+def _move_cost(arc: Arc, forward: bool) -> float:
+    """Cost of one unit along a residual move (cancellation refunds)."""
+    return arc.cost if forward else -arc.cost
+
+
+def _bellman_ford_potentials(net: FlowNetwork, source: Node) -> dict[Node, float]:
+    """Shortest-path distances from ``source`` over the residual graph.
+
+    Plain Bellman–Ford; detects negative residual cycles, which cannot
+    occur at a zero flow unless the input itself has a negative-cost
+    cycle of positive capacity (rejected, since none of the paper's
+    transformations produce one).
+    """
+    dist: dict[Node, float] = {node: math.inf for node in net.nodes}
+    dist[source] = 0.0
+    n = net.n_nodes
+    for i in range(n):
+        changed = False
+        for arc in net.arcs:
+            for forward in (True, False):
+                if arc.residual(forward) <= 0:
+                    continue
+                u, v = (arc.tail, arc.head) if forward else (arc.head, arc.tail)
+                cand = dist[u] + _move_cost(arc, forward)
+                if cand < dist[v] - 1e-12:
+                    dist[v] = cand
+                    changed = True
+        if not changed:
+            return dist
+    raise ValueError("negative-cost residual cycle: problem is unbounded below")
+
+
+def _dijkstra(
+    net: FlowNetwork,
+    source: Node,
+    potential: dict[Node, float],
+    counter: OpCounter | None,
+) -> tuple[dict[Node, float], dict[Node, tuple[Node, Arc, bool]]]:
+    """Reduced-cost Dijkstra over the residual graph.
+
+    Returns (distance map over reachable nodes, predecessor map).
+    Reduced costs ``c(e) + pi(u) - pi(v)`` are nonnegative by the
+    potential invariant, so Dijkstra is valid even with cancellation
+    moves of negative raw cost.
+    """
+    dist: dict[Node, float] = {source: 0.0}
+    pred: dict[Node, tuple[Node, Arc, bool]] = {}
+    done: set[Node] = set()
+    tie = itertools.count()
+    heap: list[tuple[float, int, Node]] = [(0.0, next(tie), source)]
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        if counter is not None:
+            counter.charge("node_visit")
+        for arc, forward in net.incident(node):
+            if counter is not None:
+                counter.charge("arc_scan")
+            if arc.residual(forward) <= 0:
+                continue
+            nxt = arc.head if forward else arc.tail
+            if nxt in done:
+                continue
+            reduced = _move_cost(arc, forward) + potential[node] - potential[nxt]
+            if reduced < -1e-7:
+                raise AssertionError(
+                    f"negative reduced cost {reduced} on {arc!r}: potential invariant broken"
+                )
+            cand = d + max(reduced, 0.0)
+            if cand < dist.get(nxt, math.inf) - 1e-12:
+                dist[nxt] = cand
+                pred[nxt] = (node, arc, forward)
+                heapq.heappush(heap, (cand, next(tie), nxt))
+    return dist, pred
+
+
+def min_cost_flow(
+    net: FlowNetwork,
+    source: Node,
+    sink: Node,
+    *,
+    target_flow: float | None = None,
+    counter: OpCounter | None = None,
+) -> MinCostResult:
+    """Circulate flow from ``source`` to ``sink`` at minimum total cost.
+
+    With ``target_flow`` given, exactly that value is pushed (raising
+    :class:`InfeasibleFlowError` if the network cannot carry it) — the
+    paper's formulation with fixed ``F0``.  Without it, the maximum
+    flow is found and, among maximum flows, one of minimum cost: the
+    successive-shortest-path invariant guarantees every intermediate
+    flow value is reached at its own minimum cost.
+
+    The network's current flow must be zero (the potential
+    initialisation assumes it); call :meth:`FlowNetwork.zero_flow`
+    first when reusing a network.
+    """
+    for arc in net.arcs:
+        if arc.flow != 0.0:
+            raise ValueError("min_cost_flow requires a zero initial flow")
+    if source not in net or sink not in net:
+        if target_flow:
+            raise InfeasibleFlowError("terminal missing from network")
+        return MinCostResult(0.0, 0.0, 0)
+    if any(arc.cost < 0 for arc in net.arcs):
+        potential = _bellman_ford_potentials(net, source)
+    else:
+        potential = {node: 0.0 for node in net.nodes}
+    value = 0.0
+    augmentations = 0
+    while target_flow is None or value < target_flow - 1e-12:
+        dist, pred = _dijkstra(net, source, potential, counter)
+        if sink not in dist:
+            if target_flow is not None:
+                raise InfeasibleFlowError(
+                    f"only {value} of {target_flow} units can be circulated"
+                )
+            break
+        # Reconstruct the shortest residual path.
+        path: list[tuple[Arc, bool]] = []
+        node = sink
+        while node != source:
+            prev, arc, forward = pred[node]
+            path.append((arc, forward))
+            node = prev
+        path.reverse()
+        amount = min(arc.residual(forward) for arc, forward in path)
+        if target_flow is not None:
+            amount = min(amount, target_flow - value)
+        augment_along(path, amount)
+        if counter is not None:
+            counter.charge("augmentation")
+            counter.charge("arc_update", len(path))
+        value += amount
+        augmentations += 1
+        # Update potentials with the new distances; nodes unreachable in
+        # this round can never become reachable again (flow only changed
+        # on reachable nodes), so their stale potentials are harmless.
+        for node, d in dist.items():
+            potential[node] += d
+    return MinCostResult(value=value, cost=net.total_cost(), augmentations=augmentations)
+
+
+def _find_negative_cycle(net: FlowNetwork) -> list[tuple[Arc, bool]] | None:
+    """A negative-cost cycle in the residual graph, or ``None``.
+
+    Bellman–Ford from a virtual super-source touching every node,
+    with parent-pointer walkback to extract the cycle.
+    """
+    dist: dict[Node, float] = {node: 0.0 for node in net.nodes}
+    pred: dict[Node, tuple[Node, Arc, bool]] = {}
+    last_improved: Node | None = None
+    n = net.n_nodes
+    for i in range(n):
+        last_improved = None
+        for arc in net.arcs:
+            for forward in (True, False):
+                if arc.residual(forward) <= 1e-12:
+                    continue
+                u, v = (arc.tail, arc.head) if forward else (arc.head, arc.tail)
+                cand = dist[u] + _move_cost(arc, forward)
+                if cand < dist[v] - 1e-9:
+                    dist[v] = cand
+                    pred[v] = (u, arc, forward)
+                    last_improved = v
+        if last_improved is None:
+            return None
+    # A relaxation in round n implies a negative cycle; walk back n
+    # steps to land on it, then collect it.
+    node = last_improved
+    for _ in range(n):
+        node = pred[node][0]
+    cycle: list[tuple[Arc, bool]] = []
+    cur = node
+    while True:
+        prev, arc, forward = pred[cur]
+        cycle.append((arc, forward))
+        cur = prev
+        if cur == node:
+            break
+    cycle.reverse()
+    return cycle
+
+
+def cycle_cancel_min_cost(
+    net: FlowNetwork,
+    source: Node,
+    sink: Node,
+    *,
+    target_flow: float | None = None,
+    counter: OpCounter | None = None,
+) -> MinCostResult:
+    """Min-cost flow by Klein's negative-cycle canceling.
+
+    First establishes a feasible flow of the requested value with
+    plain max-flow, then cancels negative residual cycles until none
+    remain — at which point the flow is cost-optimal for its value.
+    """
+    mf = edmonds_karp(net, source, sink, counter=counter, flow_limit=target_flow)
+    if target_flow is not None and mf.value < target_flow - 1e-12:
+        raise InfeasibleFlowError(
+            f"only {mf.value} of {target_flow} units can be circulated"
+        )
+    cancelled = 0
+    while True:
+        cycle = _find_negative_cycle(net)
+        if cycle is None:
+            break
+        amount = min(arc.residual(forward) for arc, forward in cycle)
+        augment_along(cycle, amount)
+        cancelled += 1
+        if counter is not None:
+            counter.charge("cycle_cancel")
+    return MinCostResult(value=net.flow_value(source), cost=net.total_cost(), augmentations=cancelled)

@@ -1,0 +1,37 @@
+"""The baseline network of Wu and Feng.
+
+The baseline is the canonical representative of the topological
+equivalence class containing the Omega, flip, cube, and delta networks
+(Wu & Feng, cited as [46]).  It recurses: a first stage of 2x2 boxes
+followed by an inverse shuffle that splits the wires into two halves,
+each wired as a half-size baseline.
+"""
+
+from __future__ import annotations
+
+from repro.networks.permutations import blockwise, identity, inverse_shuffle, log2_exact
+from repro.networks.topology import MultistageNetwork, assemble
+
+__all__ = ["baseline", "baseline_boundaries"]
+
+
+def baseline_boundaries(n: int):
+    """The ``n + 1`` boundary permutations of an ``2^n``-port baseline.
+
+    Boundary 0 is straight wiring into the first stage; boundary ``k``
+    (``1 <= k < n``) applies the inverse shuffle independently within
+    blocks of ``2^(n-k+1)`` wires; the final boundary is straight.
+    Shared with the Beneš construction, which mirrors them.
+    """
+    bounds = [identity]
+    for k in range(1, n):
+        bounds.append(blockwise(inverse_shuffle, 1 << (n - k + 1)))
+    bounds.append(identity)
+    return bounds
+
+
+def baseline(n_ports: int) -> MultistageNetwork:
+    """An ``n_ports x n_ports`` baseline network of 2x2 boxes."""
+    n = log2_exact(n_ports)
+    shapes = [[(2, 2)] * (n_ports // 2) for _ in range(n)]
+    return assemble(f"baseline-{n_ports}", n_ports, n_ports, shapes, baseline_boundaries(n))

@@ -1,0 +1,42 @@
+"""The Beneš rearrangeable network (cited as [5]).
+
+``2 log2 N - 1`` stages: a baseline front half and its mirror image
+sharing the middle stage.  Every permutation is realisable, and every
+processor–resource pair has ``2^(log2 N - 1)`` distinct paths — the
+multi-path regime where the paper notes that even arbitrary mappings
+are rarely blocked.
+"""
+
+from __future__ import annotations
+
+from repro.networks.permutations import blockwise, identity, log2_exact, perfect_shuffle
+from repro.networks.topology import MultistageNetwork, assemble
+
+__all__ = ["benes"]
+
+
+def benes(n_ports: int) -> MultistageNetwork:
+    """An ``n_ports x n_ports`` Beneš network of 2x2 boxes.
+
+    Built recursively through boundary permutations: the front
+    boundaries split wires into halves (blockwise inverse shuffle via
+    the baseline recursion) and the back boundaries merge them again
+    (blockwise perfect shuffle).  ``n_ports == 2`` degenerates to a
+    single box.
+    """
+    n = log2_exact(n_ports)
+    if n == 1:
+        return assemble("benes-2", 2, 2, [[(2, 2)]], [identity, identity])
+    n_stages = 2 * n - 1
+    shapes = [[(2, 2)] * (n_ports // 2) for _ in range(n_stages)]
+    boundaries = [identity]
+    # Front half: baseline-style splits into ever-smaller blocks.
+    from repro.networks.permutations import inverse_shuffle
+
+    for k in range(1, n):
+        boundaries.append(blockwise(inverse_shuffle, 1 << (n - k + 1)))
+    # Back half: mirrored merges in the reverse block order.
+    for k in range(n - 1, 0, -1):
+        boundaries.append(blockwise(perfect_shuffle, 1 << (n - k + 1)))
+    boundaries.append(identity)
+    return assemble(f"benes-{n_ports}", n_ports, n_ports, shapes, boundaries)

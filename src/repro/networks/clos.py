@@ -1,0 +1,45 @@
+"""Three-stage Clos networks (cited as [9]).
+
+``clos(m, n, r)`` follows Clos's classic parameterisation: ``r`` input
+boxes of size ``n x m``, ``m`` middle boxes of size ``r x r``, and
+``r`` output boxes of size ``m x n``; each adjacent pair of stages is
+fully (bipartitely) connected.  ``m >= n`` gives rearrangeable
+nonblocking, ``m >= 2n - 1`` strict-sense nonblocking — useful extreme
+points for the blocking-probability experiments.
+"""
+
+from __future__ import annotations
+
+from repro.networks.permutations import identity, transpose
+from repro.networks.topology import MultistageNetwork, assemble
+
+__all__ = ["clos"]
+
+
+def clos(m: int, n: int, r: int) -> MultistageNetwork:
+    """A 3-stage Clos network with ``r*n`` processors and resources.
+
+    Parameters
+    ----------
+    m:
+        Number of middle-stage boxes (= outputs per input box).
+    n:
+        Ports per edge box on the outside.
+    r:
+        Number of input (and output) boxes.
+    """
+    if min(m, n, r) < 1:
+        raise ValueError(f"clos parameters must be positive, got m={m}, n={n}, r={r}")
+    ports = n * r
+    shapes = [
+        [(n, m)] * r,      # input stage
+        [(r, r)] * m,      # middle stage
+        [(m, n)] * r,      # output stage
+    ]
+    boundaries = [
+        identity,
+        transpose(r, m),   # port j of input box i -> port i of middle box j
+        transpose(m, r),   # port j of middle box i -> port i of output box j
+        identity,
+    ]
+    return assemble(f"clos-{m}x{n}x{r}", ports, ports, shapes, boundaries)

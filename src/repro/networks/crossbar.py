@@ -1,0 +1,30 @@
+"""Single-stage crossbar (Feng's third class of networks).
+
+A crossbar is nonblocking: any free processor can always reach any
+free resource, so optimal scheduling degenerates to counting.  It
+serves as the zero-blocking control in the experiments and as the
+simplest fixture for the transformation tests.
+"""
+
+from __future__ import annotations
+
+from repro.networks.permutations import identity
+from repro.networks.topology import MultistageNetwork, assemble
+
+__all__ = ["crossbar"]
+
+
+def crossbar(n_processors: int, n_resources: int | None = None) -> MultistageNetwork:
+    """An ``n_processors x n_resources`` crossbar (one big switchbox)."""
+    if n_resources is None:
+        n_resources = n_processors
+    if n_processors < 1 or n_resources < 1:
+        raise ValueError("crossbar needs at least one port on each side")
+    shapes = [[(n_processors, n_resources)]]
+    return assemble(
+        f"crossbar-{n_processors}x{n_resources}",
+        n_processors,
+        n_resources,
+        shapes,
+        [identity, identity],
+    )

@@ -1,0 +1,84 @@
+"""Multistage cube-type networks: indirect binary n-cube and delta.
+
+The paper quotes a *"2 percent"* blocking probability for an MRSIN
+embedded in an 8x8 cube network, making this family the other half of
+the SIM-BLOCK experiment.  Stage ``k`` of the indirect binary n-cube
+pairs wires whose indices differ in bit ``k`` (LSB first); the delta
+network uses the same butterfly wiring MSB-first, matching Patel's
+bit-controlled routing order.
+"""
+
+from __future__ import annotations
+
+from repro.networks.permutations import log2_exact
+from repro.networks.topology import MultistageNetwork, assemble
+
+__all__ = ["cube", "indirect_binary_cube", "delta"]
+
+
+def _butterfly_boundary(k: int):
+    """Boundary permutation pairing wires that differ in bit ``k``.
+
+    Wire ``i`` lands on input port ``2*b + bit_k(i)`` of box ``b``,
+    where ``b`` is ``i`` with bit ``k`` deleted — so each box sees a
+    pair of wires differing exactly in bit ``k``.
+    """
+    def wired(i: int, size: int) -> int:
+        log2_exact(size)
+        low = i & ((1 << k) - 1)
+        high = i >> (k + 1)
+        bit = (i >> k) & 1
+        box = (high << k) | low
+        return 2 * box + bit
+
+    return wired
+
+
+def _unbutterfly_boundary(k: int):
+    """Inverse of :func:`_butterfly_boundary`: box-port back to wire."""
+    def wired(i: int, size: int) -> int:
+        log2_exact(size)
+        box, bit = divmod(i, 2)
+        low = box & ((1 << k) - 1)
+        high = box >> k
+        return (high << (k + 1)) | (bit << k) | low
+
+    return wired
+
+
+def indirect_binary_cube(n_ports: int) -> MultistageNetwork:
+    """Pease's indirect binary n-cube: bits resolved LSB first.
+
+    Stage ``k``'s boxes decide bit ``k`` of the output address.  The
+    boundary *before* stage ``k`` groups wires differing in bit ``k``;
+    the boundary after it restores wire order.
+    """
+    n = log2_exact(n_ports)
+    shapes = [[(2, 2)] * (n_ports // 2) for _ in range(n)]
+    boundaries = [_butterfly_boundary(0)]
+    for k in range(1, n):
+        # Undo stage k-1's grouping, then group for bit k, fused into
+        # one permutation.
+        prev = _unbutterfly_boundary(k - 1)
+        nxt = _butterfly_boundary(k)
+        boundaries.append(lambda i, size, p=prev, q=nxt: q(p(i, size), size))
+    boundaries.append(_unbutterfly_boundary(n - 1))
+    return assemble(f"cube-{n_ports}", n_ports, n_ports, shapes, boundaries)
+
+
+def cube(n_ports: int) -> MultistageNetwork:
+    """Alias for :func:`indirect_binary_cube` (Siegel's multistage cube)."""
+    return indirect_binary_cube(n_ports)
+
+
+def delta(n_ports: int) -> MultistageNetwork:
+    """A ``2^n`` delta network: butterfly wiring resolved MSB first."""
+    n = log2_exact(n_ports)
+    shapes = [[(2, 2)] * (n_ports // 2) for _ in range(n)]
+    boundaries = [_butterfly_boundary(n - 1)]
+    for k in range(n - 2, -1, -1):
+        prev = _unbutterfly_boundary(k + 1)
+        nxt = _butterfly_boundary(k)
+        boundaries.append(lambda i, size, p=prev, q=nxt: q(p(i, size), size))
+    boundaries.append(_unbutterfly_boundary(0))
+    return assemble(f"delta-{n_ports}", n_ports, n_ports, shapes, boundaries)

@@ -1,0 +1,89 @@
+"""The gamma network (Parker & Raghavendra, cited as [36]).
+
+The paper's conclusion singles out redundant-path networks: *"the
+method is applicable to networks with multiple paths between
+source-destination pairs, such as the data manipulator, augmented
+data manipulator, and gamma network."*  The gamma network is the
+cleanest representative: ``n = log2 N`` columns of ``N`` 3x3 switches
+where column ``i``'s switch ``j`` connects to switches
+``(j - 2^i) mod N``, ``j``, and ``(j + 2^i) mod N`` of the next
+column — every destination is reachable through as many paths as the
+signed-digit representations of ``(dest - src) mod N``.
+
+It is also the only builder in this package with non-2x2 switchboxes
+(1x3 ingress, 3x3 middle, 3x1 egress), so it exercises the general
+crossbar paths of the model, the transformations, and the distributed
+token architecture.
+"""
+
+from __future__ import annotations
+
+from repro.networks.permutations import identity, log2_exact
+from repro.networks.topology import MultistageNetwork, assemble
+
+__all__ = ["gamma", "data_manipulator"]
+
+
+def _gamma_boundary(i: int, n_ports: int):
+    """Wiring after a column whose stride is ``2^i``.
+
+    Output port 0 of switch ``j`` goes *down* to switch
+    ``(j - 2^i) mod N`` (arriving at its input port 2), port 1 goes
+    straight (input port 1), port 2 goes *up* to ``(j + 2^i) mod N``
+    (input port 0).  Each next-column switch thus receives exactly its
+    minus/straight/plus predecessors on ports 0/1/2.
+    """
+    stride = 1 << i
+
+    def wired(wire: int, size: int) -> int:
+        if size != 3 * n_ports:
+            raise ValueError(f"gamma boundary expects {3 * n_ports} wires, got {size}")
+        j, p = divmod(wire, 3)
+        if p == 0:
+            k, q = (j - stride) % n_ports, 2
+        elif p == 1:
+            k, q = j, 1
+        else:
+            k, q = (j + stride) % n_ports, 0
+        return 3 * k + q
+
+    return wired
+
+
+def gamma(n_ports: int) -> MultistageNetwork:
+    """An ``n_ports x n_ports`` gamma network.
+
+    ``log2(n_ports) + 1`` stages: an ingress column of 1x3 switches,
+    ``log2(n_ports) - 1`` middle columns of 3x3 switches, and an
+    egress column of 3x1 concentrators.  Strides double per column
+    (1, 2, 4, ...), the classic plus-minus-2^i structure.
+    """
+    return _pm2i("gamma", n_ports, ascending=True)
+
+
+def data_manipulator(n_ports: int) -> MultistageNetwork:
+    """Feng's data manipulator / augmented data manipulator structure.
+
+    The same plus-minus-2^i cell columns as the gamma network but with
+    strides resolved *descending* (N/2, ..., 2, 1) — the original data
+    manipulator's MSB-first order, which the ADM augments with
+    independent stage controls.  Topologically this is the gamma's
+    mirror; it is included because the paper's conclusion names all
+    three networks explicitly.
+    """
+    return _pm2i("data-manipulator", n_ports, ascending=False)
+
+
+def _pm2i(name: str, n_ports: int, *, ascending: bool) -> MultistageNetwork:
+    """Shared builder for the PM2I (plus-minus 2^i) network family."""
+    n = log2_exact(n_ports)
+    shapes: list[list[tuple[int, int]]] = [[(1, 3)] * n_ports]
+    for _ in range(max(n - 1, 0)):
+        shapes.append([(3, 3)] * n_ports)
+    shapes.append([(3, 1)] * n_ports)
+    strides = range(n) if ascending else range(n - 1, -1, -1)
+    boundaries = [identity]
+    for i in strides:
+        boundaries.append(_gamma_boundary(i, n_ports))
+    boundaries.append(identity)
+    return assemble(f"{name}-{n_ports}", n_ports, n_ports, shapes, boundaries)

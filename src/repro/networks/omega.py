@@ -1,0 +1,57 @@
+"""Omega networks (Lawrie) and extra-stage variants.
+
+The Omega network is the paper's running example: Fig. 2's 8x8 MRSIN
+and Fig. 9's distributed architecture are both embedded in it.  An
+``N x N`` Omega has ``log2 N`` stages of ``N/2`` two-by-two boxes, each
+stage preceded by a perfect shuffle of the wires.
+"""
+
+from __future__ import annotations
+
+from repro.networks.permutations import identity, inverse_shuffle, log2_exact, perfect_shuffle
+from repro.networks.topology import MultistageNetwork, assemble
+
+__all__ = ["omega", "flip", "extra_stage_omega"]
+
+
+def omega(n_ports: int) -> MultistageNetwork:
+    """An ``n_ports x n_ports`` Omega network of 2x2 switchboxes.
+
+    ``n_ports`` must be a power of two.  Unique path between every
+    processor/resource pair; blocking (two circuits may contend for a
+    link), which is exactly why the paper's optimal scheduling
+    matters.
+    """
+    return extra_stage_omega(n_ports, extra_stages=0)
+
+
+def extra_stage_omega(n_ports: int, extra_stages: int) -> MultistageNetwork:
+    """Omega with ``extra_stages`` additional shuffle-connected stages.
+
+    Each extra stage multiplies the number of alternative paths per
+    processor–resource pair by 2, reproducing the paper's remark that
+    *"if extra stages are provided, there will be more paths available
+    [and] resources may be fully allocated in most cases even when an
+    arbitrary resource-request mapping is used."*
+    """
+    n = log2_exact(n_ports)
+    if extra_stages < 0:
+        raise ValueError(f"extra_stages must be >= 0, got {extra_stages}")
+    stages = n + extra_stages
+    shapes = [[(2, 2)] * (n_ports // 2) for _ in range(stages)]
+    boundaries = [perfect_shuffle] * stages + [identity]
+    name = f"omega-{n_ports}" if not extra_stages else f"omega-{n_ports}+{extra_stages}"
+    return assemble(name, n_ports, n_ports, shapes, boundaries)
+
+
+def flip(n_ports: int) -> MultistageNetwork:
+    """The STARAN Flip network: the Omega wired with inverse shuffles.
+
+    Topologically the Omega's mirror image (Wu–Feng equivalence
+    class); included so experiments can check the scheduler is
+    genuinely topology-independent.
+    """
+    n = log2_exact(n_ports)
+    shapes = [[(2, 2)] * (n_ports // 2) for _ in range(n)]
+    boundaries = [identity] + [inverse_shuffle] * (n - 1) + [inverse_shuffle]
+    return assemble(f"flip-{n_ports}", n_ports, n_ports, shapes, boundaries)

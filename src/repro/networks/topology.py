@@ -1,0 +1,422 @@
+"""The generic multistage-network model: boxes, links, and circuits.
+
+A :class:`MultistageNetwork` is the physical substrate of an MRSIN
+(Section II): processors on the input side, resources on the output
+side, stages of non-broadcast switchboxes in between, and point-to-
+point links.  Circuit switching means a request holds an entire
+processor→resource path of links plus one input→output connection in
+each traversed box; this module owns that bookkeeping
+(:meth:`MultistageNetwork.establish_circuit` /
+:meth:`~MultistageNetwork.release_circuit`).
+
+Networks are assembled from *stage boundaries*: permutation functions
+describing how the wires of one rank connect to the next (see
+:mod:`repro.networks.permutations`).  The topology builders
+(:func:`~repro.networks.omega.omega` etc.) all funnel through
+:func:`assemble`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, NamedTuple, Sequence
+
+from repro.networks.switchbox import Switchbox
+
+__all__ = ["PortRef", "Link", "Circuit", "MultistageNetwork", "assemble"]
+
+
+class PortRef(NamedTuple):
+    """A network attachment point.
+
+    ``kind`` is one of ``"proc"``, ``"res"``, ``"box_in"``,
+    ``"box_out"``.  For processors/resources, ``box`` holds the
+    processor/resource index and ``stage``/``port`` are ``-1``/``0``.
+    """
+
+    kind: str
+    stage: int
+    box: int
+    port: int
+
+    @staticmethod
+    def processor(p: int) -> "PortRef":
+        """The output port of processor ``p``."""
+        return PortRef("proc", -1, p, 0)
+
+    @staticmethod
+    def resource(r: int) -> "PortRef":
+        """The input port of resource ``r``."""
+        return PortRef("res", -1, r, 0)
+
+    @staticmethod
+    def box_in(stage: int, box: int, port: int) -> "PortRef":
+        """Input ``port`` of switchbox ``box`` in ``stage``."""
+        return PortRef("box_in", stage, box, port)
+
+    @staticmethod
+    def box_out(stage: int, box: int, port: int) -> "PortRef":
+        """Output ``port`` of switchbox ``box`` in ``stage``."""
+        return PortRef("box_out", stage, box, port)
+
+
+@dataclass
+class Link:
+    """A physical wire between two ports.
+
+    ``occupied`` marks a link held by an established circuit; the
+    scheduling transformations give occupied links zero capacity.
+    """
+
+    index: int
+    src: PortRef
+    dst: PortRef
+    occupied: bool = False
+
+
+@dataclass
+class Circuit:
+    """An established processor→resource connection.
+
+    Holds the ordered links of the path; used as the handle for
+    :meth:`MultistageNetwork.release_circuit`.
+    """
+
+    processor: int
+    resource: int
+    links: tuple[Link, ...]
+
+
+class MultistageNetwork:
+    """Switchboxes + links + circuit state for one interconnection network.
+
+    Use the topology builders or :func:`assemble` to construct
+    instances; direct construction is for hand-built test fixtures.
+    """
+
+    def __init__(self, name: str, n_processors: int, n_resources: int) -> None:
+        self.name = name
+        self.n_processors = n_processors
+        self.n_resources = n_resources
+        self.stages: list[list[Switchbox]] = []
+        self.links: list[Link] = []
+        self._from_src: dict[PortRef, Link] = {}
+        self._to_dst: dict[PortRef, Link] = {}
+        self.circuits: list[Circuit] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_stage(self, boxes: Sequence[tuple[int, int]]) -> list[Switchbox]:
+        """Append a stage of switchboxes given ``(n_in, n_out)`` shapes."""
+        stage = len(self.stages)
+        created = [Switchbox(stage, i, n_in, n_out) for i, (n_in, n_out) in enumerate(boxes)]
+        self.stages.append(created)
+        return created
+
+    def add_link(self, src: PortRef, dst: PortRef) -> Link:
+        """Wire ``src`` to ``dst``; each port carries at most one link."""
+        if src in self._from_src:
+            raise ValueError(f"port {src} already wired")
+        if dst in self._to_dst:
+            raise ValueError(f"port {dst} already wired")
+        link = Link(len(self.links), src, dst)
+        self.links.append(link)
+        self._from_src[src] = link
+        self._to_dst[dst] = link
+        return link
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        """Number of switchbox stages."""
+        return len(self.stages)
+
+    def box(self, stage: int, index: int) -> Switchbox:
+        """The switchbox at ``(stage, index)``."""
+        return self.stages[stage][index]
+
+    def boxes(self) -> Iterator[Switchbox]:
+        """All switchboxes, stage by stage."""
+        for stage in self.stages:
+            yield from stage
+
+    def processor_link(self, p: int) -> Link:
+        """The single link leaving processor ``p``."""
+        return self._from_src[PortRef.processor(p)]
+
+    def resource_link(self, r: int) -> Link:
+        """The single link entering resource ``r``."""
+        return self._to_dst[PortRef.resource(r)]
+
+    def link_from(self, port: PortRef) -> Link | None:
+        """Link whose source is ``port`` (None if unwired)."""
+        return self._from_src.get(port)
+
+    def link_to(self, port: PortRef) -> Link | None:
+        """Link whose destination is ``port`` (None if unwired)."""
+        return self._to_dst.get(port)
+
+    def links_out_of_box(self, stage: int, index: int) -> list[Link]:
+        """Links leaving each output port of a box, in port order."""
+        box = self.box(stage, index)
+        out = []
+        for port in range(box.n_out):
+            link = self._from_src.get(PortRef.box_out(stage, index, port))
+            if link is not None:
+                out.append(link)
+        return out
+
+    def links_into_box(self, stage: int, index: int) -> list[Link]:
+        """Links entering each input port of a box, in port order."""
+        box = self.box(stage, index)
+        inn = []
+        for port in range(box.n_in):
+            link = self._to_dst.get(PortRef.box_in(stage, index, port))
+            if link is not None:
+                inn.append(link)
+        return inn
+
+    # ------------------------------------------------------------------
+    # Circuit switching
+    # ------------------------------------------------------------------
+    def _validate_path(self, links: Sequence[Link]) -> tuple[int, int]:
+        """Check a link sequence is a contiguous processor→resource path.
+
+        Returns ``(processor, resource)``.  Does not check occupancy.
+        """
+        if not links:
+            raise ValueError("empty path")
+        first, last = links[0], links[-1]
+        if first.src.kind != "proc":
+            raise ValueError(f"path must start at a processor, got {first.src}")
+        if last.dst.kind != "res":
+            raise ValueError(f"path must end at a resource, got {last.dst}")
+        for a, b in zip(links, links[1:]):
+            if a.dst.kind != "box_in" or b.src.kind != "box_out":
+                raise ValueError(f"links {a.index} and {b.index} do not meet at a box")
+            if (a.dst.stage, a.dst.box) != (b.src.stage, b.src.box):
+                raise ValueError(
+                    f"links {a.index} and {b.index} meet different boxes "
+                    f"({a.dst.stage},{a.dst.box}) vs ({b.src.stage},{b.src.box})"
+                )
+        return first.src.box, last.dst.box
+
+    def establish_circuit(self, links: Sequence[Link]) -> Circuit:
+        """Reserve a path: occupy its links and set the traversed switches.
+
+        Raises :class:`ValueError` (leaving the network untouched) if
+        any link is occupied or any switch port is already in use —
+        the circuit blockages the scheduler must avoid.
+        """
+        processor, resource = self._validate_path(links)
+        for link in links:
+            if link.occupied:
+                raise ValueError(f"link {link.index} already occupied")
+        # Check all switch ports before mutating anything.
+        hops = list(zip(links, links[1:]))
+        for a, b in hops:
+            box = self.box(a.dst.stage, a.dst.box)
+            if not box.input_free(a.dst.port):
+                raise ValueError(f"{box} input {a.dst.port} busy")
+            if not box.output_free(b.src.port):
+                raise ValueError(f"{box} output {b.src.port} busy")
+        for a, b in hops:
+            self.box(a.dst.stage, a.dst.box).connect(a.dst.port, b.src.port)
+        for link in links:
+            link.occupied = True
+        circuit = Circuit(processor=processor, resource=resource, links=tuple(links))
+        self.circuits.append(circuit)
+        return circuit
+
+    def release_circuit(self, circuit: Circuit) -> None:
+        """Tear down a previously established circuit."""
+        if circuit not in self.circuits:
+            raise ValueError("circuit not active on this network")
+        for a, b in zip(circuit.links, circuit.links[1:]):
+            self.box(a.dst.stage, a.dst.box).disconnect(a.dst.port)
+        for link in circuit.links:
+            link.occupied = False
+        self.circuits.remove(circuit)
+
+    def release_all(self) -> None:
+        """Release every circuit and clear all switch state."""
+        for link in self.links:
+            link.occupied = False
+        for box in self.boxes():
+            box.reset()
+        self.circuits.clear()
+
+    # ------------------------------------------------------------------
+    # Path search over free capacity
+    # ------------------------------------------------------------------
+    def _free_successors(self, link: Link) -> Iterator[Link]:
+        """Free links that may legally follow ``link`` on a circuit."""
+        dst = link.dst
+        if dst.kind != "box_in":
+            return
+        box = self.box(dst.stage, dst.box)
+        if not box.input_free(dst.port):
+            return
+        for port in range(box.n_out):
+            if not box.output_free(port):
+                continue
+            nxt = self._from_src.get(PortRef.box_out(dst.stage, dst.box, port))
+            if nxt is not None and not nxt.occupied:
+                yield nxt
+
+    def find_free_path(self, p: int, r: int) -> list[Link] | None:
+        """A free circuit path from processor ``p`` to resource ``r``.
+
+        Depth-first search over free links and free switch ports;
+        returns ``None`` when ``r`` is unreachable (blocked).  This is
+        the *single-request* primitive; the optimal scheduler instead
+        reasons over all requests jointly via the flow transformations.
+        """
+        start = self.processor_link(p)
+        if start.occupied:
+            return None
+        target = PortRef.resource(r)
+        stack: list[list[Link]] = [[start]]
+        seen: set[int] = {start.index}
+        while stack:
+            path = stack.pop()
+            last = path[-1]
+            if last.dst == target:
+                if not last.occupied:
+                    return path
+                return None
+            for nxt in self._free_successors(last):
+                if nxt.index in seen:
+                    continue
+                seen.add(nxt.index)
+                stack.append(path + [nxt])
+        return None
+
+    def enumerate_free_paths(self, p: int, r: int) -> Iterator[list[Link]]:
+        """Yield *every* currently-free circuit path from ``p`` to ``r``.
+
+        Depth-first enumeration respecting link occupancy and switch
+        port state; exponential in the worst case (redundant-path
+        networks), intended for the exhaustive-search oracle and for
+        small-instance analysis only.
+        """
+        start = self.processor_link(p)
+        if start.occupied:
+            return
+        target = PortRef.resource(r)
+
+        def walk(path: list[Link]):
+            last = path[-1]
+            if last.dst == target:
+                yield list(path)
+                return
+            for nxt in self._free_successors(last):
+                path.append(nxt)
+                yield from walk(path)
+                path.pop()
+
+        yield from walk([start])
+
+    def count_paths(self, p: int, r: int) -> int:
+        """Number of distinct link-paths from ``p`` to ``r`` ignoring state.
+
+        Structural redundancy metric: 1 for unique-path networks
+        (Omega, baseline, cube), >1 for Beneš/Clos/extra-stage
+        networks.
+        """
+        target = PortRef.resource(r)
+
+        def walk(link: Link) -> int:
+            if link.dst == target:
+                return 1
+            if link.dst.kind != "box_in":
+                return 0
+            stage, box_idx = link.dst.stage, link.dst.box
+            box = self.box(stage, box_idx)
+            total = 0
+            for port in range(box.n_out):
+                nxt = self._from_src.get(PortRef.box_out(stage, box_idx, port))
+                if nxt is not None:
+                    total += walk(nxt)
+            return total
+
+        return walk(self.processor_link(p))
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> float:
+        """Fraction of links currently occupied."""
+        if not self.links:
+            return 0.0
+        return sum(link.occupied for link in self.links) / len(self.links)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultistageNetwork({self.name!r}, {self.n_processors}x{self.n_resources}, "
+            f"stages={self.n_stages}, links={len(self.links)})"
+        )
+
+
+def assemble(
+    name: str,
+    n_processors: int,
+    n_resources: int,
+    stage_shapes: Sequence[Sequence[tuple[int, int]]],
+    boundaries: Sequence[Callable[[int, int], int]],
+) -> MultistageNetwork:
+    """Build a network from stage shapes and boundary permutations.
+
+    ``boundaries`` has ``len(stage_shapes) + 1`` entries.  Boundary 0
+    wires processors to stage-0 inputs; boundary ``k`` wires stage
+    ``k-1`` outputs to stage ``k`` inputs; the final boundary wires
+    last-stage outputs to resources.  Each boundary function maps a
+    global wire index (in box-major port order) to the destination
+    global port index; the wire counts on both sides must agree.
+    """
+    if len(boundaries) != len(stage_shapes) + 1:
+        raise ValueError(
+            f"need {len(stage_shapes) + 1} boundaries, got {len(boundaries)}"
+        )
+    net = MultistageNetwork(name, n_processors, n_resources)
+    for shapes in stage_shapes:
+        net.add_stage(shapes)
+
+    def in_port(stage: int, global_port: int) -> PortRef:
+        total = 0
+        for idx, box in enumerate(net.stages[stage]):
+            if global_port < total + box.n_in:
+                return PortRef.box_in(stage, idx, global_port - total)
+            total += box.n_in
+        raise ValueError(f"input port {global_port} out of range in stage {stage}")
+
+    def out_port(stage: int, global_port: int) -> PortRef:
+        total = 0
+        for idx, box in enumerate(net.stages[stage]):
+            if global_port < total + box.n_out:
+                return PortRef.box_out(stage, idx, global_port - total)
+            total += box.n_out
+        raise ValueError(f"output port {global_port} out of range in stage {stage}")
+
+    n_stages = len(stage_shapes)
+    for k, boundary in enumerate(boundaries):
+        if k == 0:
+            n_src = n_processors
+            srcs = [PortRef.processor(i) for i in range(n_src)]
+        else:
+            n_src = sum(box.n_out for box in net.stages[k - 1])
+            srcs = [out_port(k - 1, i) for i in range(n_src)]
+        if k == n_stages:
+            n_dst = n_resources
+            dsts = [PortRef.resource(i) for i in range(n_dst)]
+        else:
+            n_dst = sum(box.n_in for box in net.stages[k])
+            dsts = [in_port(k, i) for i in range(n_dst)]
+        if n_src != n_dst:
+            raise ValueError(
+                f"boundary {k}: {n_src} source wires vs {n_dst} destination ports"
+            )
+        for i in range(n_src):
+            net.add_link(srcs[i], dsts[boundary(i, n_src)])
+    return net

@@ -1,0 +1,68 @@
+"""Parameter sweeps rendered as paper-style result tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.sim.blocking import BlockingEstimate, estimate_blocking
+from repro.sim.workload import WorkloadSpec
+from repro.util.tables import Table
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass
+class SweepResult:
+    """All estimates from one sweep, plus a rendered table.
+
+    ``rows`` maps ``(point_label, policy)`` to the estimate.
+    """
+
+    title: str
+    policies: Sequence[str]
+    points: Sequence[str]
+    rows: dict[tuple[str, str], BlockingEstimate] = field(default_factory=dict)
+
+    def estimate(self, point: str, policy: str) -> BlockingEstimate:
+        """The estimate at one sweep point for one policy."""
+        return self.rows[(point, policy)]
+
+    def render(self) -> str:
+        """ASCII table: one row per sweep point, one column per policy."""
+        table = Table(
+            headers=["point"] + [f"{p} P(block)" for p in self.policies],
+            title=self.title,
+        )
+        for point in self.points:
+            cells: list[Any] = [point]
+            for policy in self.policies:
+                est = self.rows[(point, policy)]
+                lo, hi = est.ci95
+                cells.append(f"{est.probability:.3f} [{lo:.3f},{hi:.3f}]")
+            table.add_row(*cells)
+        return table.render()
+
+
+def sweep(
+    title: str,
+    points: Iterable[tuple[str, WorkloadSpec]],
+    policies: Sequence[str],
+    *,
+    trials: int = 100,
+    seed: int = 0,
+) -> SweepResult:
+    """Estimate blocking for every (sweep point, policy) pair.
+
+    All policies see the same instance stream at each point (the seed
+    is derived from the point label), making columns directly
+    comparable.
+    """
+    points = list(points)
+    result = SweepResult(title=title, policies=list(policies), points=[p for p, _ in points])
+    for i, (label, spec) in enumerate(points):
+        for policy in policies:
+            result.rows[(label, policy)] = estimate_blocking(
+                spec, policy, trials=trials, seed=seed + 7919 * i
+            )
+    return result

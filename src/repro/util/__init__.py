@@ -1,0 +1,12 @@
+"""Shared utilities: seeded RNG helpers, ASCII tables, instrumentation.
+
+These helpers are deliberately dependency-light; everything in
+:mod:`repro` other than the test suite depends only on :mod:`numpy`
+and the standard library.
+"""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import Table, format_table
+from repro.util.counters import OpCounter
+
+__all__ = ["make_rng", "spawn_rngs", "Table", "format_table", "OpCounter"]

@@ -1,0 +1,62 @@
+"""Minimal ASCII table rendering for benchmark and experiment output.
+
+The benchmark harness prints paper-style result tables (one row per
+sweep point).  A tiny formatter is enough; we do not pull in external
+pretty-printers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_table"]
+
+
+def _fmt_cell(value: Any) -> str:
+    """Render one cell: floats get 4 significant digits, rest ``str()``."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None) -> str:
+    """Format ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """Accumulating table: ``add_row`` during a sweep, ``render`` at the end."""
+
+    headers: Sequence[str]
+    title: str | None = None
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row; must match the header arity."""
+        if len(cells) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Render the accumulated rows as an ASCII table."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()

@@ -1,0 +1,124 @@
+"""Tests for the exhaustive-search oracle (Section III's straw man)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MRSIN,
+    OptimalScheduler,
+    Request,
+    count_candidate_mappings,
+    exhaustive_schedule,
+)
+from repro.core.exhaustive import mapping_objective_cost
+from repro.networks import crossbar, gamma, omega
+
+
+class TestSearchSpaceSize:
+    def test_paper_formula(self):
+        # C(x,y) y! for x >= y
+        assert count_candidate_mappings(5, 3) == 10 * 6
+        assert count_candidate_mappings(3, 5) == 10 * 6
+        assert count_candidate_mappings(4, 4) == 24
+        assert count_candidate_mappings(1, 1) == 1
+
+    def test_growth_is_factorial(self):
+        sizes = [count_candidate_mappings(k, k) for k in range(1, 7)]
+        assert sizes == [1, 2, 6, 24, 120, 720]
+
+
+class TestPathEnumeration:
+    def test_unique_path_networks_enumerate_one(self):
+        net = omega(8)
+        paths = list(net.enumerate_free_paths(0, 5))
+        assert len(paths) == 1
+        assert paths[0] == net.find_free_path(0, 5)
+
+    def test_multipath_enumeration_matches_count(self):
+        net = gamma(8)
+        for p, r in [(0, 1), (2, 5), (7, 0)]:
+            assert len(list(net.enumerate_free_paths(p, r))) == net.count_paths(p, r)
+
+    def test_occupancy_prunes_paths(self):
+        net = gamma(8)
+        before = len(list(net.enumerate_free_paths(0, 1)))
+        net.establish_circuit(net.find_free_path(0, 1))
+        assert list(net.enumerate_free_paths(0, 1)) == []
+        net.release_all()
+        assert len(list(net.enumerate_free_paths(0, 1))) == before
+
+
+class TestOracleAgreement:
+    def test_trivial_cases(self):
+        m = MRSIN(crossbar(3, 3))
+        assert len(exhaustive_schedule(m)) == 0
+        m.submit(Request(0))
+        mapping = exhaustive_schedule(m)
+        assert len(mapping) == 1
+        mapping.validate(m)
+
+    def test_guard_rail(self):
+        m = MRSIN(crossbar(6, 6))
+        for p in range(6):
+            m.submit(Request(p))
+        with pytest.raises(RuntimeError, match="exceeded"):
+            exhaustive_schedule(m, max_mappings=10)
+
+    def test_typed_pools_respected(self):
+        m = MRSIN(crossbar(3, 3), resource_types=["a", "b", "a"])
+        m.submit(Request(0, resource_type="b"))
+        m.submit(Request(1, resource_type="b"))
+        mapping = exhaustive_schedule(m)
+        assert len(mapping) == 1  # only one "b" resource exists
+        assert mapping.assignments[0].resource.index == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_flow_scheduler_on_homogeneous(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        net = omega(8)
+        m = MRSIN(net)
+        for link in net.links:
+            if rng.random() < 0.3:
+                link.occupied = True
+        for r in range(8):
+            if rng.random() < 0.5:
+                m.resources[r].busy = True
+        for p in range(8):
+            if rng.random() < 0.4 and not net.processor_link(p).occupied:
+                m.submit(Request(p))
+        optimal = OptimalScheduler().schedule(m)
+        exhaustive = exhaustive_schedule(m)
+        assert len(exhaustive) == len(optimal)
+
+
+@given(seed=st.integers(0, 20_000))
+@settings(max_examples=20, deadline=None)
+def test_property_flow_cost_is_truly_optimal(seed):
+    """Property (Theorems 2+3 together): the min-cost flow scheduler's
+    objective equals the exhaustive optimum — count and cost."""
+    rng = np.random.default_rng(seed)
+    net = omega(8)
+    m = MRSIN(net)
+    for link in net.links:
+        if rng.random() < 0.3:
+            link.occupied = True
+    for r in range(8):
+        if rng.random() < 0.5:
+            m.resources[r].busy = True
+        else:
+            m.resources[r].preference = int(rng.integers(1, 11))
+    for p in range(8):
+        if rng.random() < 0.35 and not net.processor_link(p).occupied:
+            m.submit(Request(p, priority=int(rng.integers(1, 11))))
+    reqs = m.schedulable_requests()
+    sched = OptimalScheduler(mincost="ssp")
+    optimal = sched.schedule(m)
+    exhaustive = exhaustive_schedule(m)
+    assert len(optimal) == len(exhaustive)
+    cost_flow = mapping_objective_cost(m, reqs, optimal)
+    cost_brute = mapping_objective_cost(m, reqs, exhaustive)
+    assert cost_flow == pytest.approx(cost_brute)
+    if reqs:
+        assert sched.stats.flow_cost == pytest.approx(cost_flow)

@@ -1,0 +1,48 @@
+"""Unit tests for Request / Resource value objects."""
+
+import pytest
+
+from repro.core.requests import DEFAULT_TYPE, Request, Resource
+
+
+class TestRequest:
+    def test_defaults(self):
+        req = Request(3)
+        assert req.resource_type == DEFAULT_TYPE
+        assert req.priority == 1
+
+    def test_negative_processor_rejected(self):
+        with pytest.raises(ValueError):
+            Request(-1)
+
+    def test_priority_floor(self):
+        with pytest.raises(ValueError):
+            Request(0, priority=0)
+
+    def test_tag_excluded_from_equality(self):
+        assert Request(1, tag="a") == Request(1, tag="b")
+
+    def test_frozen(self):
+        req = Request(1)
+        with pytest.raises(AttributeError):
+            req.processor = 2  # type: ignore[misc]
+
+
+class TestResource:
+    def test_defaults(self):
+        res = Resource(0)
+        assert res.available and not res.busy
+        assert res.preference == 1
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(-2)
+
+    def test_preference_floor(self):
+        with pytest.raises(ValueError):
+            Resource(0, preference=0)
+
+    def test_busy_means_unavailable(self):
+        res = Resource(0)
+        res.busy = True
+        assert not res.available

@@ -1,0 +1,272 @@
+"""Tests for the OptimalScheduler facade (Table II dispatch)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MRSIN,
+    Discipline,
+    OptimalScheduler,
+    Request,
+    greedy_schedule,
+)
+from repro.networks import benes, crossbar, omega
+
+
+class TestClassification:
+    def test_homogeneous(self):
+        m = MRSIN(crossbar(2, 2))
+        m.submit(Request(0))
+        assert OptimalScheduler().classify(m) is Discipline.HOMOGENEOUS
+
+    def test_priority_via_request(self):
+        m = MRSIN(crossbar(2, 2))
+        m.submit(Request(0, priority=5))
+        assert OptimalScheduler().classify(m) is Discipline.PRIORITY
+
+    def test_priority_via_preference(self):
+        m = MRSIN(crossbar(2, 2), preferences=[3, 1])
+        m.submit(Request(0))
+        assert OptimalScheduler().classify(m) is Discipline.PRIORITY
+
+    def test_heterogeneous(self):
+        m = MRSIN(crossbar(2, 2), resource_types=["a", "b"])
+        m.submit(Request(0, resource_type="a"))
+        assert OptimalScheduler().classify(m) is Discipline.HETEROGENEOUS
+
+    def test_heterogeneous_priority(self):
+        m = MRSIN(crossbar(2, 2), resource_types=["a", "b"])
+        m.submit(Request(0, resource_type="a", priority=4))
+        assert OptimalScheduler().classify(m) is Discipline.HETEROGENEOUS_PRIORITY
+
+    def test_unknown_algorithms_rejected(self):
+        with pytest.raises(ValueError):
+            OptimalScheduler(maxflow="telepathy")
+        with pytest.raises(ValueError):
+            OptimalScheduler(mincost="magic")
+
+
+class TestHomogeneousScheduling:
+    @pytest.mark.parametrize("algo", ["dinic", "edmonds_karp", "ford_fulkerson", "push_relabel"])
+    def test_all_algorithms_allocate_fully_on_free_network(self, algo):
+        m = MRSIN(omega(8))
+        for p in range(8):
+            m.submit(Request(p))
+        mapping = OptimalScheduler(maxflow=algo).schedule(m)
+        assert len(mapping) == 8
+        mapping.validate(m)
+
+    def test_empty_queue_gives_empty_mapping(self):
+        m = MRSIN(omega(8))
+        sched = OptimalScheduler()
+        assert len(sched.schedule(m)) == 0
+        assert sched.stats.blocking_fraction == 0.0
+
+    def test_stats_populated(self):
+        m = MRSIN(omega(8))
+        for p in (0, 1, 2):
+            m.submit(Request(p))
+        sched = OptimalScheduler()
+        mapping = sched.schedule(m)
+        assert sched.stats.discipline is Discipline.HOMOGENEOUS
+        assert sched.stats.n_requests == 3
+        assert sched.stats.n_allocated == len(mapping) == 3
+        assert sched.stats.flow_value == 3
+
+    def test_optimal_never_below_greedy(self):
+        rng = np.random.default_rng(5)
+        sched = OptimalScheduler()
+        for trial in range(20):
+            m = MRSIN(omega(8))
+            for _ in range(int(rng.integers(0, 5))):
+                p, r = int(rng.integers(0, 8)), int(rng.integers(0, 8))
+                path = m.network.find_free_path(p, r)
+                if path:
+                    m.network.establish_circuit(path)
+                    m.resources[r].busy = True
+            for p in range(8):
+                if rng.random() < 0.7 and not m.network.processor_link(p).occupied:
+                    m.submit(Request(p))
+            optimal = len(sched.schedule(m))
+            greedy = len(greedy_schedule(m, order="random", rng=int(rng.integers(1 << 31))))
+            assert optimal >= greedy
+
+
+class TestPriorityScheduling:
+    @pytest.mark.parametrize("algo", ["out_of_kilter", "ssp", "cycle_cancel", "network_simplex"])
+    def test_higher_priority_wins_contention(self, algo):
+        """Two requests, one free resource: urgency decides."""
+        m = MRSIN(crossbar(2, 2))
+        m.resources[1].busy = True
+        m.submit(Request(0, priority=2))
+        m.submit(Request(1, priority=9))
+        mapping = OptimalScheduler(mincost=algo).schedule(m)
+        assert mapping.pairs == {(1, 0)}
+
+    @pytest.mark.parametrize("algo", ["out_of_kilter", "ssp", "cycle_cancel", "network_simplex"])
+    def test_preferred_resource_chosen(self, algo):
+        m = MRSIN(crossbar(2, 2), preferences=[2, 9])
+        m.submit(Request(0))
+        mapping = OptimalScheduler(mincost=algo).schedule(m)
+        assert mapping.pairs == {(0, 1)}
+
+    def test_allocation_count_not_sacrificed(self):
+        """Theorem 3: cost optimality implies maximum allocation; a
+        high-priority request never starves the pool."""
+        m = MRSIN(crossbar(2, 2))
+        m.submit(Request(0, priority=10))
+        m.submit(Request(1, priority=1))
+        mapping = OptimalScheduler().schedule(m)
+        assert len(mapping) == 2
+
+    def test_priority_blocked_low_priority_served(self):
+        """The paper: requests need not be served in priority order —
+        a blocked high-priority request must not prevent a lower one
+        from using a reachable resource."""
+        net = omega(8)
+        m = MRSIN(net)
+        # Occupy processor 0's link so its request cannot be served.
+        net.establish_circuit(net.find_free_path(0, 0))
+        m.resources[0].busy = True
+        m.submit(Request(2, priority=1))
+        reqs = [Request(2, priority=1)]
+        mapping = OptimalScheduler().schedule(m, reqs, discipline=Discipline.PRIORITY)
+        assert len(mapping) == 1
+
+    def test_mincost_algorithms_agree(self):
+        rng = np.random.default_rng(17)
+        for trial in range(8):
+            net = omega(8)
+            prefs = [int(rng.integers(1, 11)) for _ in range(8)]
+            m = MRSIN(net, preferences=prefs)
+            reqs = []
+            for p in range(8):
+                if rng.random() < 0.6:
+                    reqs.append(Request(p, priority=int(rng.integers(1, 11))))
+            for req in reqs:
+                m.submit(req)
+            costs = set()
+            sizes = set()
+            for algo in ("out_of_kilter", "ssp", "cycle_cancel", "network_simplex"):
+                m2 = MRSIN(omega(8), preferences=prefs)
+                for req in reqs:
+                    m2.submit(req)
+                sched = OptimalScheduler(mincost=algo)
+                mapping = sched.schedule(m2)
+                costs.add(round(sched.stats.flow_cost, 6))
+                sizes.add(len(mapping))
+            assert len(costs) == 1, f"trial {trial}: costs diverge {costs}"
+            assert len(sizes) == 1
+
+
+class TestHeterogeneousScheduling:
+    def test_types_respected(self):
+        m = MRSIN(crossbar(4, 4), resource_types=["fft", "fft", "conv", "conv"])
+        m.submit(Request(0, resource_type="fft"))
+        m.submit(Request(1, resource_type="conv"))
+        mapping = OptimalScheduler().schedule(m)
+        assert len(mapping) == 2
+        for a in mapping:
+            assert a.resource.resource_type == a.request.resource_type
+        mapping.validate(m)
+        m.apply_mapping(mapping)
+
+    def test_contention_within_type(self):
+        m = MRSIN(crossbar(3, 3), resource_types=["a", "a", "b"])
+        for p in range(3):
+            m.submit(Request(p, resource_type="a"))
+        mapping = OptimalScheduler().schedule(m)
+        assert len(mapping) == 2  # only two "a" resources exist
+
+    def test_heterogeneous_on_omega(self):
+        types = ["a", "b"] * 4
+        m = MRSIN(omega(8), resource_types=types)
+        for p in range(6):
+            m.submit(Request(p, resource_type="a" if p % 2 else "b"))
+        mapping = OptimalScheduler().schedule(m)
+        mapping.validate(m)
+        assert len(mapping) >= 4  # plenty of capacity for 3+3 typed requests
+        m.apply_mapping(mapping)
+
+    def test_heterogeneous_priority(self):
+        m = MRSIN(crossbar(3, 3), resource_types=["a", "a", "b"], preferences=[9, 1, 1])
+        m.submit(Request(0, resource_type="a", priority=5))
+        m.submit(Request(2, resource_type="b", priority=2))
+        mapping = OptimalScheduler().schedule(m)
+        assert len(mapping) == 2
+        # The "a" request lands on the preferred resource 0.
+        assert (0, 0) in mapping.pairs
+
+    def test_heterogeneous_priority_contention(self):
+        m = MRSIN(crossbar(3, 3), resource_types=["a", "a", "a"])
+        m.resources[1].busy = True
+        m.resources[2].busy = True
+        m.submit(Request(0, resource_type="a", priority=1))
+        m.submit(Request(1, resource_type="a", priority=8))
+        # Force the heterogeneous machinery even for one type.
+        mapping = OptimalScheduler().schedule(
+            m, discipline=Discipline.HETEROGENEOUS_PRIORITY
+        )
+        assert mapping.pairs == {(1, 0)}
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    network=st.sampled_from(["omega", "benes", "crossbar"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_optimal_dominates_greedy_everywhere(seed, network):
+    """Property: on any topology/state, optimal >= greedy allocation."""
+    rng = np.random.default_rng(seed)
+    net = {"omega": lambda: omega(8), "benes": lambda: benes(8), "crossbar": lambda: crossbar(8, 8)}[network]()
+    m = MRSIN(net)
+    for _ in range(int(rng.integers(0, 6))):
+        p, r = int(rng.integers(0, 8)), int(rng.integers(0, 8))
+        path = net.find_free_path(p, r)
+        if path:
+            net.establish_circuit(path)
+            m.resources[r].busy = True
+    for p in range(8):
+        if rng.random() < 0.7 and not net.processor_link(p).occupied:
+            m.submit(Request(p))
+    optimal = len(OptimalScheduler().schedule(m))
+    greedy = len(greedy_schedule(m, order="random", rng=seed))
+    assert optimal >= greedy
+
+
+class TestRobustness:
+    def test_schedule_is_stateless_wrt_network(self):
+        """Scheduling twice from the same state yields the same value
+        and leaves no residue on the network."""
+        m = MRSIN(omega(8))
+        for p in range(8):
+            m.submit(Request(p))
+        sched = OptimalScheduler()
+        a = sched.schedule(m)
+        b = sched.schedule(m)
+        assert len(a) == len(b) == 8
+        assert m.network.occupancy() == 0.0
+
+    def test_explicit_requests_override_queue(self):
+        m = MRSIN(omega(8))
+        m.submit(Request(0))
+        explicit = [Request(5), Request(6)]
+        mapping = OptimalScheduler().schedule(m, explicit)
+        assert {a.request.processor for a in mapping} == {5, 6}
+        # The queue is untouched by scheduling (only apply consumes it).
+        assert len(m.pending) == 1
+
+    def test_stats_blocking_fraction(self):
+        m = MRSIN(omega(8))
+        for r in range(6, 8):
+            m.resources[r].busy = False
+        for r in range(6):
+            m.resources[r].busy = True
+        for p in range(4):
+            m.submit(Request(p))
+        sched = OptimalScheduler()
+        mapping = sched.schedule(m)
+        assert len(mapping) == 2  # only two free resources
+        assert sched.stats.blocking_fraction == pytest.approx(0.5)

@@ -1,0 +1,134 @@
+"""Unit tests for the RQ/RS/NS element state machines."""
+
+import pytest
+
+from repro.distributed.elements import NodeServer, RequestServer, ResourceServer
+from repro.core.requests import Request
+from repro.networks.topology import Link, PortRef
+
+
+def link(i: int) -> Link:
+    return Link(i, PortRef.processor(0), PortRef.box_in(0, 0, 0))
+
+
+def ns_2x2() -> NodeServer:
+    return NodeServer(
+        stage=0, index=0,
+        in_links=[link(0), link(1)],
+        out_links=[link(2), link(3)],
+    )
+
+
+class TestRequestServer:
+    def test_wants_token(self):
+        rq = RequestServer(processor=0, link=link(0), request=Request(0))
+        assert rq.wants_token
+        rq.bonded = True
+        assert not rq.wants_token
+
+    def test_idle_rq_never_emits(self):
+        rq = RequestServer(processor=0, link=link(0))
+        assert not rq.wants_token
+
+    def test_occupied_link_blocks_emission(self):
+        l = link(0)
+        l.occupied = True
+        rq = RequestServer(processor=0, link=l, request=Request(0))
+        assert not rq.wants_token
+
+
+class TestResourceServer:
+    def test_can_accept(self):
+        rs = ResourceServer(resource=0, link=link(0), ready=True)
+        assert rs.can_accept
+        rs.bonded = True
+        assert not rs.can_accept
+
+    def test_not_ready_rejects(self):
+        rs = ResourceServer(resource=0, link=link(0), ready=False)
+        assert not rs.can_accept
+
+
+class TestNodeServerMarks:
+    def test_reset_iteration_keeps_pairs(self):
+        ns = ns_2x2()
+        ns.pairs[0] = 1
+        ns.fired = True
+        ns.received.append(("in", 0))
+        ns.sent.add(("out", 0))
+        ns.consumed.add(("in", 0))
+        ns.reset_iteration()
+        assert ns.pairs == {0: 1}
+        assert not ns.fired and not ns.received and not ns.sent and not ns.consumed
+
+    def test_available_entry_order_and_consumption(self):
+        ns = ns_2x2()
+        ns.received.extend([("in", 0), ("in", 1)])
+        assert ns.available_entry() == ("in", 0)
+        ns.consumed.add(("in", 0))
+        assert ns.available_entry() == ("in", 1)
+        ns.consumed.add(("in", 1))
+        assert ns.available_entry() is None
+
+    def test_clear_entry(self):
+        ns = ns_2x2()
+        ns.received.append(("in", 0))
+        ns.consumed.add(("in", 0))
+        ns.clear_entry(("in", 0))
+        assert ns.received == [] and ns.consumed == set()
+
+    def test_link_at(self):
+        ns = ns_2x2()
+        assert ns.link_at(("in", 1)).index == 1
+        assert ns.link_at(("out", 0)).index == 2
+        ns.in_links[0] = None
+        with pytest.raises(ValueError, match="unwired"):
+            ns.link_at(("in", 0))
+
+
+class TestApplyPass:
+    """The four splice cases of a resource token crossing an NS."""
+
+    def test_new_in_new_out(self):
+        ns = ns_2x2()
+        ns.apply_pass(("in", 0), ("out", 1))
+        assert ns.pairs == {0: 1}
+
+    def test_new_in_cancel_in(self):
+        """Entry on a fresh in-link, exit cancelling the registered
+        in-link: the old downstream is re-fed from the new in-port."""
+        ns = ns_2x2()
+        ns.pairs[1] = 0  # old path: in1 -> out0
+        ns.apply_pass(("in", 0), ("in", 1))
+        assert ns.pairs == {0: 0}
+
+    def test_cancel_out_new_out(self):
+        """Entry cancelling the registered out-link, exit on a fresh
+        out-link: the old upstream is re-routed to the new out-port."""
+        ns = ns_2x2()
+        ns.pairs[0] = 0  # old path: in0 -> out0
+        ns.apply_pass(("out", 0), ("out", 1))
+        assert ns.pairs == {0: 1}
+
+    def test_cancel_out_cancel_in_distinct_paths(self):
+        """Two different old paths spliced into one."""
+        ns = ns_2x2()
+        ns.pairs[0] = 0  # path A: in0 -> out0
+        ns.pairs[1] = 1  # path B: in1 -> out1
+        # Cancel A's out-link and B's in-link: A's upstream joins B's
+        # downstream.
+        ns.apply_pass(("out", 0), ("in", 1))
+        assert ns.pairs == {0: 1}
+
+    def test_cancel_same_pairing_expels(self):
+        """Regression: both cancellations on the same old pairing must
+        delete it, not splice it back (KeyError before the fix)."""
+        ns = ns_2x2()
+        ns.pairs[0] = 1
+        ns.apply_pass(("out", 1), ("in", 0))
+        assert ns.pairs == {}
+
+    def test_missing_pairing_raises(self):
+        ns = ns_2x2()
+        with pytest.raises(KeyError):
+            ns.apply_pass(("out", 0), ("out", 1))

@@ -1,0 +1,143 @@
+"""Tests for multicommodity max-flow / min-cost flow (Section III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.flows.graph import FlowNetwork
+from repro.flows.lp import LPStatus
+from repro.flows.maxflow import edmonds_karp
+from repro.flows.multicommodity import (
+    Commodity,
+    MultiCommodityProblem,
+    solve_integral_multicommodity,
+    solve_max_multicommodity,
+    solve_min_cost_multicommodity,
+)
+
+
+def shared_link_instance() -> MultiCommodityProblem:
+    """Two commodities forced through one shared middle arc."""
+    net = FlowNetwork()
+    net.add_arc("s1", "m", 2)
+    net.add_arc("s2", "m", 2)
+    net.add_arc("m", "n", 3)  # the bundle bottleneck
+    net.add_arc("n", "t1", 2)
+    net.add_arc("n", "t2", 2)
+    coms = [Commodity("A", "s1", "t1"), Commodity("B", "s2", "t2")]
+    return MultiCommodityProblem(net, coms)
+
+
+def disjoint_instance() -> MultiCommodityProblem:
+    """Two commodities on arc-disjoint routes (trivially integral)."""
+    net = FlowNetwork()
+    net.add_arc("s1", "t1", 2)
+    net.add_arc("s2", "t2", 3)
+    coms = [Commodity("A", "s1", "t1"), Commodity("B", "s2", "t2")]
+    return MultiCommodityProblem(net, coms)
+
+
+class TestMaxMulticommodity:
+    def test_disjoint_routes(self):
+        res = solve_max_multicommodity(disjoint_instance())
+        assert res.status is LPStatus.OPTIMAL
+        assert res.total_flow == pytest.approx(5.0)
+        assert res.flow_values == pytest.approx([2.0, 3.0])
+        assert res.integral
+
+    def test_bundle_constraint_binds(self):
+        res = solve_max_multicommodity(shared_link_instance())
+        assert res.status is LPStatus.OPTIMAL
+        assert res.total_flow == pytest.approx(3.0)  # bottleneck arc m->n
+
+    def test_single_commodity_reduces_to_max_flow(self):
+        rng = np.random.default_rng(42)
+        net = FlowNetwork()
+        nodes = list(range(7))
+        for _ in range(18):
+            u, v = rng.choice(nodes, size=2, replace=False)
+            net.add_arc(int(u), int(v), int(rng.integers(1, 4)))
+        problem = MultiCommodityProblem(net, [Commodity("only", 0, 6)])
+        res = solve_max_multicommodity(problem)
+        expected = edmonds_karp(net.copy(), 0, 6).value
+        assert res.total_flow == pytest.approx(expected)
+
+    def test_capacity_respected_per_arc(self):
+        problem = shared_link_instance()
+        res = solve_max_multicommodity(problem)
+        for arc in problem.net.arcs:
+            total = sum(
+                res.commodity_flow(k, arc) for k in range(len(problem.commodities))
+            )
+            assert total <= arc.capacity + 1e-6
+
+
+class TestMinCostMulticommodity:
+    def test_demands_met_at_min_cost(self):
+        net = FlowNetwork()
+        net.add_arc("s1", "t1", 2, cost=1)
+        net.add_arc("s1", "x", 2, cost=0)
+        net.add_arc("x", "t1", 2, cost=0)
+        net.add_arc("s2", "t2", 1, cost=2)
+        coms = [Commodity("A", "s1", "t1", demand=1), Commodity("B", "s2", "t2", demand=1)]
+        res = solve_min_cost_multicommodity(MultiCommodityProblem(net, coms))
+        assert res.status is LPStatus.OPTIMAL
+        assert res.cost == pytest.approx(2.0)  # A uses the free 2-hop route
+
+    def test_per_commodity_cost_override(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", 2, cost=1)
+        coms = [Commodity("A", "s", "t", demand=1), Commodity("B", "s", "t", demand=1)]
+        problem = MultiCommodityProblem(net, coms, costs={(1, 0): 10.0})
+        res = solve_min_cost_multicommodity(problem)
+        assert res.cost == pytest.approx(1.0 + 10.0)
+
+    def test_missing_demand_rejected(self):
+        problem = shared_link_instance()
+        with pytest.raises(ValueError, match="demand"):
+            solve_min_cost_multicommodity(problem)
+
+    def test_infeasible_demand(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", 1)
+        coms = [Commodity("A", "s", "t", demand=5)]
+        res = solve_min_cost_multicommodity(MultiCommodityProblem(net, coms))
+        assert res.status is LPStatus.INFEASIBLE
+
+
+class TestIntegral:
+    def test_integral_on_integral_instance(self):
+        res = solve_integral_multicommodity(disjoint_instance())
+        assert res.integral
+        assert res.total_flow == pytest.approx(5.0)
+
+    def test_fractional_lp_gets_rounded_down(self):
+        """The classic 3-commodity triangle: LP optimum 1.5 each direction,
+        integral optimum strictly smaller."""
+        net = FlowNetwork()
+        # Triangle of unit arcs in both directions.
+        for u, v in (("a", "b"), ("b", "c"), ("c", "a")):
+            net.add_arc(u, v, 1)
+            net.add_arc(v, u, 1)
+        coms = [
+            Commodity(0, "a", "b"),
+            Commodity(1, "b", "c"),
+            Commodity(2, "c", "a"),
+        ]
+        problem = MultiCommodityProblem(net, coms)
+        lp_res = solve_max_multicommodity(problem)
+        int_res = solve_integral_multicommodity(problem)
+        assert int_res.integral
+        assert int_res.total_flow <= lp_res.total_flow + 1e-6
+        assert int_res.total_flow == pytest.approx(round(int_res.total_flow))
+        assert int_res.total_flow >= 3.0 - 1e-6  # direct unit arcs exist
+
+    def test_branch_and_bound_respects_capacities(self):
+        problem = shared_link_instance()
+        res = solve_integral_multicommodity(problem)
+        assert res.integral
+        assert res.total_flow == pytest.approx(3.0)
+        for arc in problem.net.arcs:
+            total = sum(
+                res.commodity_flow(k, arc) for k in range(len(problem.commodities))
+            )
+            assert total <= arc.capacity + 1e-6

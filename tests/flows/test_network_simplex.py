@@ -1,0 +1,138 @@
+"""Tests for the network simplex min-cost flow solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.graph import FlowNetwork
+from repro.flows.maxflow import edmonds_karp
+from repro.flows.mincost import InfeasibleFlowError, min_cost_flow
+from repro.flows.network_simplex import network_simplex
+from repro.flows.validate import check_flow, is_integral
+from tests.helpers import nx_min_cost_for_value, random_flow_network
+
+
+class TestBasics:
+    def test_two_route_split(self):
+        net = FlowNetwork()
+        net.add_arc("s", "a", 1, cost=1)
+        net.add_arc("a", "t", 1, cost=1)
+        net.add_arc("s", "b", 2, cost=5)
+        net.add_arc("b", "t", 2, cost=5)
+        res = network_simplex(net, "s", "t", target_flow=3)
+        assert res.value == 3
+        assert res.cost == 22
+        check_flow(net, "s", "t")
+
+    def test_zero_target(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", 1, cost=1)
+        res = network_simplex(net, "s", "t", target_flow=0)
+        assert res.value == 0 and res.cost == 0
+
+    def test_negative_target_rejected(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", 1)
+        with pytest.raises(ValueError, match="negative target"):
+            network_simplex(net, "s", "t", target_flow=-1)
+
+    def test_infeasible_detected(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", 1, cost=1)
+        with pytest.raises(InfeasibleFlowError):
+            network_simplex(net, "s", "t", target_flow=3)
+
+    def test_disconnected_infeasible(self):
+        net = FlowNetwork()
+        net.add_arc("s", "a", 1)
+        net.add_arc("b", "t", 1)
+        with pytest.raises(InfeasibleFlowError):
+            network_simplex(net, "s", "t", target_flow=1)
+
+    def test_nonzero_initial_flow_rejected(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", 1).flow = 1.0
+        with pytest.raises(ValueError, match="zero initial flow"):
+            network_simplex(net, "s", "t", target_flow=1)
+
+    def test_negative_costs(self):
+        net = FlowNetwork()
+        net.add_arc("s", "a", 1, cost=-5)
+        net.add_arc("a", "t", 1, cost=2)
+        net.add_arc("s", "t", 1, cost=0)
+        res = network_simplex(net, "s", "t", target_flow=2)
+        assert res.cost == -3
+        check_flow(net, "s", "t")
+
+    def test_upper_bounded_pivot(self):
+        """An instance whose optimum needs a nonbasic arc at its upper
+        bound (saturated cheap arc)."""
+        net = FlowNetwork()
+        net.add_arc("s", "t", 2, cost=1)
+        net.add_arc("s", "m", 3, cost=2)
+        net.add_arc("m", "t", 3, cost=2)
+        res = network_simplex(net, "s", "t", target_flow=4)
+        assert res.cost == 2 * 1 + 2 * 4
+        assert net.find_arcs("s", "t")[0].flow == 2
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_instances_match_ssp(self, seed):
+        rng = np.random.default_rng(1100 + seed)
+        net, s, t = random_flow_network(rng, n_nodes=8, n_arcs=22)
+        maxv = int(edmonds_karp(net.copy(), s, t).value)
+        if maxv == 0:
+            pytest.skip("no s-t path")
+        target = max(1, maxv // 2)
+        expected = min_cost_flow(net.copy(), s, t, target_flow=target).cost
+        res = network_simplex(net, s, t, target_flow=target)
+        assert res.value == target
+        assert res.cost == pytest.approx(expected)
+        assert is_integral(net)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx(self, seed):
+        rng = np.random.default_rng(1200 + seed)
+        net, s, t = random_flow_network(rng, n_nodes=9, n_arcs=26)
+        maxv = int(edmonds_karp(net.copy(), s, t).value)
+        if maxv == 0:
+            pytest.skip("no s-t path")
+        expected = nx_min_cost_for_value(net, s, t, maxv)
+        res = network_simplex(net, s, t, target_flow=maxv)
+        assert res.cost == pytest.approx(expected)
+
+
+def test_scheduler_integration():
+    from repro.core import MRSIN, OptimalScheduler, Request
+    from repro.networks import omega
+
+    m = MRSIN(omega(8), preferences=[3, 8, 1, 5, 2, 9, 4, 6])
+    for p in range(6):
+        m.submit(Request(p, priority=1 + p))
+    a = OptimalScheduler(mincost="network_simplex")
+    mapping = a.schedule(m)
+    b = OptimalScheduler(mincost="ssp")
+    m2 = MRSIN(omega(8), preferences=[3, 8, 1, 5, 2, 9, 4, 6])
+    for p in range(6):
+        m2.submit(Request(p, priority=1 + p))
+    mapping2 = b.schedule(m2)
+    assert len(mapping) == len(mapping2)
+    assert a.stats.flow_cost == pytest.approx(b.stats.flow_cost)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_property_network_simplex_optimal_on_unit_networks(seed):
+    """Property: network simplex matches SSP on 0-1 networks (the
+    Transformation 2 case)."""
+    rng = np.random.default_rng(seed)
+    net, s, t = random_flow_network(rng, n_nodes=8, n_arcs=20, unit=True)
+    maxv = int(edmonds_karp(net.copy(), s, t).value)
+    if maxv == 0:
+        return
+    expected = min_cost_flow(net.copy(), s, t, target_flow=maxv).cost
+    res = network_simplex(net, s, t, target_flow=maxv)
+    assert res.cost == pytest.approx(expected)
+    assert check_flow(net, s, t) == pytest.approx(maxv)

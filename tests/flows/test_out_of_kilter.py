@@ -1,0 +1,111 @@
+"""Tests for the out-of-kilter algorithm vs the other min-cost solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.graph import FlowNetwork
+from repro.flows.maxflow import edmonds_karp
+from repro.flows.mincost import InfeasibleFlowError, min_cost_flow
+from repro.flows.out_of_kilter import min_cost_circulation, out_of_kilter
+from repro.flows.validate import check_flow, is_integral
+from tests.helpers import random_flow_network
+
+
+class TestCirculation:
+    def test_trivial_all_zero_is_feasible(self):
+        net = FlowNetwork()
+        net.add_arc("a", "b", 2, cost=3)
+        net.add_arc("b", "a", 2, cost=4)
+        cost = min_cost_circulation(net)
+        assert cost == 0.0
+        assert all(arc.flow == 0 for arc in net.arcs)
+
+    def test_lower_bounds_force_flow(self):
+        net = FlowNetwork()
+        net.add_arc("a", "b", 2, cost=1, lower=1)
+        net.add_arc("b", "a", 2, cost=1)
+        cost = min_cost_circulation(net)
+        assert cost == 2.0
+        check_flow(net)
+
+    def test_negative_cost_cycle_is_saturated(self):
+        net = FlowNetwork()
+        net.add_arc("a", "b", 3, cost=-2)
+        net.add_arc("b", "a", 3, cost=1)
+        cost = min_cost_circulation(net)
+        assert cost == 3 * (-2 + 1)
+        check_flow(net)
+
+    def test_infeasible_bounds_detected(self):
+        net = FlowNetwork()
+        # A one-way arc with a lower bound and no way back.
+        net.add_arc("a", "b", 2, cost=0, lower=1)
+        net.add_node("c")
+        net.add_arc("b", "c", 2, cost=0)
+        with pytest.raises(InfeasibleFlowError):
+            min_cost_circulation(net)
+
+    def test_cheaper_return_path_chosen(self):
+        net = FlowNetwork()
+        net.add_arc("a", "b", 1, cost=0, lower=1)
+        net.add_arc("b", "a", 1, cost=7)
+        net.add_arc("b", "c", 1, cost=1)
+        net.add_arc("c", "a", 1, cost=1)
+        cost = min_cost_circulation(net)
+        assert cost == 2.0
+
+
+class TestSTFlow:
+    def test_matches_ssp_on_simple_network(self):
+        net = FlowNetwork()
+        net.add_arc("s", "a", 1, cost=1)
+        net.add_arc("a", "t", 1, cost=1)
+        net.add_arc("s", "b", 2, cost=5)
+        net.add_arc("b", "t", 2, cost=5)
+        res = out_of_kilter(net, "s", "t", target_flow=1)
+        assert res.value == 1
+        assert res.cost == 2
+        # The temporary return arc must be gone.
+        assert not net.find_arcs("t", "s")
+        check_flow(net, "s", "t")
+
+    def test_infeasible_target(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", 1, cost=0)
+        with pytest.raises(InfeasibleFlowError):
+            out_of_kilter(net, "s", "t", target_flow=2)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_ssp_on_random_instances(self, seed):
+        rng = np.random.default_rng(600 + seed)
+        net, s, t = random_flow_network(rng, n_nodes=8, n_arcs=18)
+        maxv = int(edmonds_karp(net.copy(), s, t).value)
+        if maxv == 0:
+            pytest.skip("no s-t path")
+        target = max(1, maxv // 2)
+        expected = min_cost_flow(net.copy(), s, t, target_flow=target).cost
+        res = out_of_kilter(net, s, t, target_flow=target)
+        assert res.value == target
+        assert res.cost == pytest.approx(expected)
+        assert is_integral(net)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_out_of_kilter_optimal_on_unit_networks(seed):
+    """Property: out-of-kilter equals SSP cost on 0-1 networks.
+
+    The 0-1 case is exactly what Transformation 2 produces; the paper
+    quotes the O(|V||E|^2) bound for it.
+    """
+    rng = np.random.default_rng(seed)
+    net, s, t = random_flow_network(rng, n_nodes=8, n_arcs=20, unit=True)
+    maxv = int(edmonds_karp(net.copy(), s, t).value)
+    if maxv == 0:
+        return
+    expected = min_cost_flow(net.copy(), s, t, target_flow=maxv).cost
+    res = out_of_kilter(net, s, t, target_flow=maxv)
+    assert res.cost == pytest.approx(expected)
+    assert check_flow(net, s, t) == pytest.approx(maxv)

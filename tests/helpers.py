@@ -1,0 +1,97 @@
+"""Shared test utilities: random instance generators and oracles.
+
+NetworkX and SciPy appear *only* here (and in the benchmark
+cross-checks); the library under test never imports them.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.flows.graph import FlowNetwork
+
+
+def random_flow_network(
+    rng: np.random.Generator,
+    n_nodes: int = 8,
+    n_arcs: int = 20,
+    max_cap: int = 5,
+    max_cost: int = 10,
+    *,
+    unit: bool = False,
+) -> tuple[FlowNetwork, int, int]:
+    """A random digraph with integer capacities/costs; returns (net, s, t).
+
+    Nodes are ``0..n_nodes-1`` with source 0 and sink ``n_nodes-1``.
+    Parallel arcs are allowed; self-loops are skipped.  ``unit=True``
+    forces all capacities to 1 (the MRSIN case).
+    """
+    net = FlowNetwork()
+    for v in range(n_nodes):
+        net.add_node(v)
+    added = 0
+    while added < n_arcs:
+        u = int(rng.integers(0, n_nodes))
+        v = int(rng.integers(0, n_nodes))
+        if u == v:
+            continue
+        cap = 1 if unit else int(rng.integers(1, max_cap + 1))
+        cost = int(rng.integers(0, max_cost + 1))
+        net.add_arc(u, v, capacity=cap, cost=cost)
+        added += 1
+    return net, 0, n_nodes - 1
+
+
+def to_networkx(net: FlowNetwork) -> nx.DiGraph:
+    """Convert to a NetworkX DiGraph, merging parallel arcs.
+
+    Parallel arcs are merged by summing capacities; for min-cost
+    oracles use :func:`to_networkx_multi` instead (costs cannot be
+    merged).
+    """
+    g = nx.DiGraph()
+    for node in net.nodes:
+        g.add_node(node)
+    for arc in net.arcs:
+        if g.has_edge(arc.tail, arc.head):
+            g[arc.tail][arc.head]["capacity"] += arc.capacity
+        else:
+            g.add_edge(arc.tail, arc.head, capacity=arc.capacity)
+    return g
+
+
+def to_networkx_multi(net: FlowNetwork) -> nx.MultiDiGraph:
+    """Convert to a MultiDiGraph preserving parallel arcs and costs."""
+    g = nx.MultiDiGraph()
+    for node in net.nodes:
+        g.add_node(node)
+    for arc in net.arcs:
+        g.add_edge(arc.tail, arc.head, capacity=arc.capacity, weight=arc.cost)
+    return g
+
+
+def nx_max_flow(net: FlowNetwork, s, t) -> float:
+    """Oracle maximum-flow value via NetworkX."""
+    g = to_networkx(net)
+    if s not in g or t not in g:
+        return 0.0
+    return float(nx.maximum_flow_value(g, s, t))
+
+
+def nx_min_cost_for_value(net: FlowNetwork, s, t, value: int) -> float:
+    """Oracle minimum cost of circulating ``value`` units from s to t."""
+    g = to_networkx_multi(net)
+    g.add_node(s)
+    g.add_node(t)
+    demands = {node: 0 for node in g.nodes}
+    demands[s] = -value
+    demands[t] = value
+    nx.set_node_attributes(g, demands, "demand")
+    flow_dict = nx.min_cost_flow(g)
+    cost = 0.0
+    for u, targets in flow_dict.items():
+        for v, keyed in targets.items():
+            for key, f in keyed.items():
+                cost += g[u][v][key]["weight"] * f
+    return cost

@@ -1,0 +1,90 @@
+"""Stateful property testing of circuit switching.
+
+A hypothesis rule-based state machine drives a MultistageNetwork
+through arbitrary interleavings of circuit establishment, release, and
+path search, checking after every step that the physical invariants
+hold:
+
+- every switchbox remains an injective partial matching;
+- the set of occupied links is exactly the union of active circuits'
+  links (no leaks, no double-occupancy);
+- `find_free_path` never returns occupied links or busy ports;
+- a full `release_all` returns the network to pristine state.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.networks import benes, gamma, omega
+
+
+class CircuitMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.net = None
+        self.circuits = []
+
+    @rule(kind=st.sampled_from(["omega", "benes", "gamma"]))
+    @precondition(lambda self: self.net is None)
+    def build(self, kind):
+        self.net = {"omega": omega, "benes": benes, "gamma": gamma}[kind](8)
+        self.circuits = []
+
+    @rule(p=st.integers(0, 7), r=st.integers(0, 7))
+    @precondition(lambda self: self.net is not None)
+    def establish(self, p, r):
+        path = self.net.find_free_path(p, r)
+        if path is None:
+            return
+        # The path handed back must be entirely free right now.
+        assert all(not link.occupied for link in path)
+        circuit = self.net.establish_circuit(path)
+        self.circuits.append(circuit)
+
+    @rule(idx=st.integers(0, 30))
+    @precondition(lambda self: self.net is not None and self.circuits)
+    def release(self, idx):
+        circuit = self.circuits.pop(idx % len(self.circuits))
+        self.net.release_circuit(circuit)
+
+    @rule()
+    @precondition(lambda self: self.net is not None)
+    def release_everything(self):
+        self.net.release_all()
+        self.circuits = []
+        assert self.net.occupancy() == 0.0
+        assert all(box.n_connected == 0 for box in self.net.boxes())
+
+    @invariant()
+    def switchboxes_are_matchings(self):
+        if self.net is None:
+            return
+        for box in self.net.boxes():
+            conn = box.connections
+            assert len(set(conn.values())) == len(conn)
+
+    @invariant()
+    def occupancy_equals_circuit_links(self):
+        if self.net is None:
+            return
+        from_circuits = set()
+        for c in self.net.circuits:
+            for link in c.links:
+                assert link.index not in from_circuits, "link shared by circuits"
+                from_circuits.add(link.index)
+        occupied = {l.index for l in self.net.links if l.occupied}
+        assert occupied == from_circuits
+
+    @invariant()
+    def circuit_count_consistent(self):
+        if self.net is None:
+            return
+        assert len(self.net.circuits) == len(self.circuits)
+
+
+TestCircuitMachine = CircuitMachine.TestCase
+TestCircuitMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,164 @@
+"""Tests for the generic MultistageNetwork model and circuit switching."""
+
+import pytest
+
+from repro.networks.omega import omega
+from repro.networks.crossbar import crossbar
+from repro.networks.permutations import identity
+from repro.networks.topology import MultistageNetwork, PortRef, assemble
+
+
+def tiny() -> MultistageNetwork:
+    """A 2x2 single-box network."""
+    return assemble("tiny", 2, 2, [[(2, 2)]], [identity, identity])
+
+
+class TestAssembly:
+    def test_counts(self):
+        net = omega(8)
+        assert net.n_stages == 3
+        assert len(net.stages[0]) == 4
+        # 8 proc links + 2*8 interstage + 8 resource links.
+        assert len(net.links) == 32
+
+    def test_boundary_count_enforced(self):
+        with pytest.raises(ValueError, match="boundaries"):
+            assemble("bad", 2, 2, [[(2, 2)]], [identity])
+
+    def test_wire_count_mismatch_detected(self):
+        with pytest.raises(ValueError, match="source wires"):
+            assemble("bad", 4, 2, [[(2, 2)]], [identity, identity])
+
+    def test_every_port_wired_once(self):
+        net = omega(8)
+        srcs = [link.src for link in net.links]
+        dsts = [link.dst for link in net.links]
+        assert len(set(srcs)) == len(srcs)
+        assert len(set(dsts)) == len(dsts)
+
+    def test_duplicate_wiring_rejected(self):
+        net = MultistageNetwork("x", 1, 1)
+        net.add_stage([(1, 1)])
+        net.add_link(PortRef.processor(0), PortRef.box_in(0, 0, 0))
+        with pytest.raises(ValueError, match="already wired"):
+            net.add_link(PortRef.processor(0), PortRef.box_in(0, 0, 0))
+
+    def test_terminal_links(self):
+        net = omega(8)
+        for p in range(8):
+            assert net.processor_link(p).src == PortRef.processor(p)
+        for r in range(8):
+            assert net.resource_link(r).dst == PortRef.resource(r)
+
+
+class TestCircuits:
+    def test_establish_sets_switches_and_occupancy(self):
+        net = tiny()
+        path = net.find_free_path(0, 1)
+        assert path is not None
+        circuit = net.establish_circuit(path)
+        assert circuit.processor == 0 and circuit.resource == 1
+        assert all(link.occupied for link in path)
+        assert net.box(0, 0).output_for(0) == 1
+
+    def test_conflicting_circuit_rejected(self):
+        net = tiny()
+        net.establish_circuit(net.find_free_path(0, 1))
+        # Processor 1 can still reach resource 0 ...
+        path = net.find_free_path(1, 0)
+        assert path is not None
+        net.establish_circuit(path)
+        # ... but nothing else remains.
+        assert net.find_free_path(0, 0) is None
+
+    def test_occupied_link_rejected(self):
+        net = tiny()
+        path = net.find_free_path(0, 0)
+        net.establish_circuit(path)
+        with pytest.raises(ValueError, match="occupied"):
+            net.establish_circuit(path)
+
+    def test_busy_switch_port_rejected(self):
+        net = crossbar(2, 2)
+        p0 = net.find_free_path(0, 0)
+        net.establish_circuit(p0)
+        # Hand-build the illegal path 1 -> 0 after clearing occupancy
+        # flags but not the switch: the port check must still fire.
+        path = [net.processor_link(1), net.resource_link(0)]
+        with pytest.raises(ValueError, match="busy|occupied"):
+            net.establish_circuit(path)
+
+    def test_release_restores_state(self):
+        net = tiny()
+        circuit = net.establish_circuit(net.find_free_path(0, 1))
+        net.release_circuit(circuit)
+        assert net.occupancy() == 0.0
+        assert net.box(0, 0).n_connected == 0
+        assert net.find_free_path(0, 1) is not None
+
+    def test_release_unknown_circuit(self):
+        net = tiny()
+        circuit = net.establish_circuit(net.find_free_path(0, 1))
+        net.release_circuit(circuit)
+        with pytest.raises(ValueError):
+            net.release_circuit(circuit)
+
+    def test_release_all(self):
+        net = omega(8)
+        net.establish_circuit(net.find_free_path(0, 3))
+        net.establish_circuit(net.find_free_path(1, 5))
+        net.release_all()
+        assert net.occupancy() == 0.0
+        assert net.circuits == []
+
+    def test_path_validation_rejects_garbage(self):
+        net = omega(8)
+        with pytest.raises(ValueError, match="empty"):
+            net.establish_circuit([])
+        with pytest.raises(ValueError, match="start at a processor"):
+            net.establish_circuit([net.resource_link(0)])
+        # Two links that do not meet at a box.
+        with pytest.raises(ValueError):
+            net.establish_circuit([net.processor_link(0), net.resource_link(0)])
+
+
+class TestPathSearch:
+    def test_full_access_when_free(self):
+        net = omega(8)
+        for p in range(8):
+            for r in range(8):
+                assert net.find_free_path(p, r) is not None
+
+    def test_blocked_when_processor_link_used(self):
+        net = omega(8)
+        net.establish_circuit(net.find_free_path(0, 0))
+        assert net.find_free_path(0, 1) is None
+
+    def test_unique_path_count_in_omega(self):
+        net = omega(8)
+        for p in range(8):
+            for r in range(8):
+                assert net.count_paths(p, r) == 1
+
+    def test_occupancy_metric(self):
+        net = tiny()
+        assert net.occupancy() == 0.0
+        net.establish_circuit(net.find_free_path(0, 0))
+        assert net.occupancy() == pytest.approx(2 / 4)
+
+    def test_paper_fig2_blocking_example(self):
+        """Fig. 2(a): with p2->r6 and p4->r4 circuits up, the mapping
+        {(p1,r1),(p3,r5),(p5,r3),(p7,r7)} blocks p8 from r8, while an
+        optimal mapping serves all five requesters.  Here we verify the
+        structural fact that established circuits can block a later
+        request in an Omega network."""
+        net = omega(8)
+        blocked_somewhere = False
+        # Occupy two circuits, then check some pair became unreachable.
+        net.establish_circuit(net.find_free_path(1, 5))
+        net.establish_circuit(net.find_free_path(3, 3))
+        for p in (0, 2, 4, 6, 7):
+            for r in (0, 2, 4, 6, 7):
+                if net.find_free_path(p, r) is None:
+                    blocked_somewhere = True
+        assert blocked_somewhere

@@ -1,0 +1,89 @@
+"""Tests for blocking estimation — including the paper's headline shape."""
+
+import pytest
+
+from repro.networks import crossbar, omega
+from repro.sim.blocking import POLICIES, estimate_blocking
+from repro.sim.runner import sweep
+from repro.sim.workload import WorkloadSpec
+
+
+def omega_spec(**kw):
+    return WorkloadSpec(builder=omega, n_ports=8, **kw)
+
+
+class TestEstimator:
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            estimate_blocking(omega_spec(), "telepathy")
+
+    def test_all_policies_run(self):
+        for policy in POLICIES:
+            est = estimate_blocking(omega_spec(), policy, trials=5, seed=0)
+            assert est.trials == 5
+            assert 0.0 <= est.probability <= 1.0
+
+    def test_crossbar_never_blocks(self):
+        """Control: a crossbar is nonblocking for every policy."""
+        spec = WorkloadSpec(builder=lambda n: crossbar(n, n), n_ports=8)
+        for policy in ("optimal", "greedy", "random_binding"):
+            est = estimate_blocking(spec, policy, trials=20, seed=1)
+            assert est.probability == 0.0
+
+    def test_deterministic_given_seed(self):
+        a = estimate_blocking(omega_spec(), "random_binding", trials=20, seed=7)
+        b = estimate_blocking(omega_spec(), "random_binding", trials=20, seed=7)
+        assert (a.blocked, a.possible) == (b.blocked, b.possible)
+
+    def test_ci_brackets_estimate(self):
+        est = estimate_blocking(omega_spec(), "random_binding", trials=30, seed=2)
+        lo, hi = est.ci95
+        assert lo <= est.probability <= hi
+
+
+class TestPaperShape:
+    """The in-text claims: optimal < 5% (~2%), heuristic ~20%."""
+
+    def test_optimal_beats_heuristic_decisively(self):
+        opt = estimate_blocking(omega_spec(), "optimal", trials=60, seed=3)
+        heur = estimate_blocking(omega_spec(), "random_binding", trials=60, seed=3)
+        assert opt.probability < 0.05, f"optimal blocking {opt.probability}"
+        assert heur.probability > 0.10, f"heuristic blocking {heur.probability}"
+        assert heur.probability > 4 * max(opt.probability, 0.01)
+
+    def test_distributed_matches_optimal_estimate(self):
+        opt = estimate_blocking(omega_spec(), "optimal", trials=30, seed=4)
+        dist = estimate_blocking(omega_spec(), "distributed", trials=30, seed=4)
+        assert opt.blocked == dist.blocked
+        assert opt.possible == dist.possible
+
+    def test_occupied_network_raises_blocking(self):
+        """'If the network is not completely free, then there will be
+        fewer paths available ... blocking will be higher.'"""
+        free = estimate_blocking(
+            omega_spec(request_density=0.8), "random_binding", trials=60, seed=5
+        )
+        occupied = estimate_blocking(
+            omega_spec(request_density=0.8, occupied_circuits=3),
+            "random_binding",
+            trials=60,
+            seed=5,
+        )
+        assert occupied.probability > free.probability
+
+
+class TestSweep:
+    def test_sweep_grid_complete(self):
+        points = [
+            ("d=0.5", omega_spec(request_density=0.5)),
+            ("d=1.0", omega_spec(request_density=1.0)),
+        ]
+        result = sweep("test", points, ["optimal", "random_binding"], trials=10, seed=0)
+        assert set(result.rows) == {
+            ("d=0.5", "optimal"),
+            ("d=0.5", "random_binding"),
+            ("d=1.0", "optimal"),
+            ("d=1.0", "random_binding"),
+        }
+        text = result.render()
+        assert "d=0.5" in text and "random_binding" in text

@@ -1,0 +1,123 @@
+"""Tests for the command-line interface and the ASCII renderer."""
+
+import pytest
+
+from repro.cli import TOPOLOGIES, build_parser, main
+from repro.core import MRSIN, OptimalScheduler, Request
+from repro.networks import omega
+from repro.networks.render import render_circuits, render_network
+
+
+class TestRenderer:
+    def test_free_network_render(self):
+        net = omega(4)
+        text = render_network(net)
+        assert text.count("\n") == 3  # one row per processor
+        assert "p0" in text and "r0" in text
+        assert "==>" not in text  # nothing occupied
+
+    def test_occupied_links_marked(self):
+        net = omega(4)
+        net.establish_circuit(net.find_free_path(0, 0))
+        text = render_network(net, busy_resources={0})
+        assert "==>" in text
+        assert "*busy*" in text
+
+    def test_box_connections_shown(self):
+        net = omega(4)
+        net.establish_circuit(net.find_free_path(1, 2))
+        text = render_network(net)
+        assert "-" in text  # an a-b connection glyph somewhere
+
+    def test_render_circuits(self):
+        net = omega(4)
+        assert render_circuits(net) == "(no circuits established)"
+        net.establish_circuit(net.find_free_path(2, 3))
+        out = render_circuits(net)
+        assert out.startswith("p2 -> links[")
+        assert out.endswith("-> r3")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_topology_registry_all_build(self):
+        for name, builder in TOPOLOGIES.items():
+            net = builder(8)
+            assert net.n_processors == 8, name
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--network", "hypercube9"])
+
+
+class TestCommands:
+    def test_schedule(self, capsys):
+        assert main(["schedule", "--network", "omega", "--ports", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal allocated 8" in out
+
+    def test_schedule_render(self, capsys):
+        assert main(["schedule", "--render", "--request-density", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "p0" in out
+
+    @pytest.mark.parametrize("policy", ["distributed", "greedy", "random_binding", "arbitrary"])
+    def test_schedule_policies(self, capsys, policy):
+        assert main(["schedule", "--policy", policy, "--ports", "4"]) == 0
+        assert f"{policy} allocated" in capsys.readouterr().out
+
+    def test_blocking(self, capsys):
+        assert main(["blocking", "--policy", "optimal", "--trials", "5"]) == 0
+        assert "P(block)" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main([
+            "sweep", "--trials", "5", "--densities", "0.5", "1.0",
+            "--policies", "optimal", "random_binding",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "d=0.5" in out and "d=1" in out
+
+    def test_queueing(self, capsys):
+        assert main(["queueing", "--rate", "0.3", "--horizon", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "resource utilization" in out
+
+    def test_tokens(self, capsys):
+        assert main(["tokens", "--ports", "4", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "request-token-propagation" in out
+        assert "clk" in out
+
+
+def test_scheduler_handles_rendered_instance():
+    """Rendering must not disturb scheduling state."""
+    m = MRSIN(omega(8))
+    m.submit(Request(0))
+    render_network(m.network)
+    mapping = OptimalScheduler().schedule(m)
+    assert len(mapping) == 1
+
+
+def test_report_command(capsys):
+    assert main(["report", "--trials", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "reproduction snapshot" in out
+    assert "heuristic blocking" in out
+    assert "instances agree" in out
+
+
+class TestRendererAcrossTopologies:
+    @pytest.mark.parametrize("builder_name", ["gamma", "clos", "benes", "crossbar"])
+    def test_render_handles_rectangular_boxes(self, builder_name):
+        net = TOPOLOGIES[builder_name](8)
+        text = render_network(net)
+        assert text.count("\n") == net.n_processors - 1
+        # Establish something and re-render.
+        path = net.find_free_path(0, 3)
+        net.establish_circuit(path)
+        text2 = render_network(net, busy_resources={3})
+        assert "==>" in text2 and "*busy*" in text2

@@ -1,0 +1,17 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.flows.lp
+
+MODULES_WITH_DOCTESTS = [repro.flows.lp]
+
+
+@pytest.mark.parametrize("module", MODULES_WITH_DOCTESTS,
+                         ids=[m.__name__ for m in MODULES_WITH_DOCTESTS])
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples carry their own assertions (they double as executable
+documentation of the paper's claims), so running them is a real test.
+The two Monte Carlo-heavy ones are excluded here to keep the suite
+fast; the benchmark harness covers their content.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "priority_scheduling.py",
+    "pumps_systolic_arrays.py",
+    "load_balancing.py",
+    "distributed_token_demo.py",
+    "fault_tolerance.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_examples_directory_documented():
+    readme = (EXAMPLES / "README.md").read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert script.name in readme, f"{script.name} missing from examples/README.md"

@@ -1,0 +1,146 @@
+"""End-to-end integration tests spanning every subsystem.
+
+Each test exercises a realistic multi-cycle scenario through the
+public API: networks → model → transformations → solvers → circuit
+establishment → task lifecycle, with both software and hardware
+schedulers in the loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MRSIN,
+    Discipline,
+    OptimalScheduler,
+    Request,
+    greedy_schedule,
+)
+from repro.distributed import DistributedScheduler, MonitorScheduler
+from repro.networks import benes, gamma, omega
+from repro.sim.queueing import simulate_queueing
+from repro.sim.workload import WorkloadSpec, sample_instance
+
+
+class TestMultiCycleOperation:
+    def test_sustained_scheduling_with_task_lifecycle(self):
+        """Three full cycles: schedule, transmit, serve, repeat —
+        the Section II model end to end."""
+        m = MRSIN(omega(8))
+        sched = OptimalScheduler()
+        rng = np.random.default_rng(0)
+        served_total = 0
+        for cycle in range(3):
+            for p in range(8):
+                if rng.random() < 0.8:
+                    m.submit(Request(p, tag=("cycle", cycle, p)))
+            mapping = sched.schedule(m)
+            m.apply_mapping(mapping)
+            served_total += len(mapping)
+            # Transmissions complete mid-cycle; circuits free up.
+            for a in mapping:
+                m.complete_transmission(a.resource.index)
+            assert m.network.occupancy() == 0.0
+            # Half the resources finish before the next cycle.
+            busy = [r.index for r in m.resources if r.busy]
+            for r in busy[::2]:
+                m.complete_service(r)
+        assert served_total >= 8
+
+    def test_hardware_and_software_schedulers_interleave(self):
+        """Alternate the distributed and monitor schedulers across
+        cycles on the same system — they must compose."""
+        m = MRSIN(omega(8))
+        rng = np.random.default_rng(1)
+        for cycle in range(4):
+            for p in range(8):
+                if rng.random() < 0.6 and not m.network.processor_link(p).occupied:
+                    m.submit(Request(p))
+            if cycle % 2 == 0:
+                mapping = DistributedScheduler().schedule(m).mapping
+            else:
+                mapping = MonitorScheduler().schedule(m).mapping
+            m.apply_mapping(mapping)
+            for r in [r.index for r in m.resources if r.busy]:
+                m.complete_service(r)
+            m.pending.clear()
+
+    def test_heterogeneous_pipeline(self):
+        """PUMPS-style: typed prioritised requests drained over
+        multiple cycles with limited per-type capacity."""
+        types = ["fft", "fft", "hist", "conv", "conv", "fft", "hist", "conv"]
+        m = MRSIN(omega(8), resource_types=types)
+        workload = [
+            Request(p, resource_type=t, priority=1 + (p % 5))
+            for p, t in enumerate(["fft", "hist", "hist", "conv", "fft", "conv", "hist", "fft"])
+        ]
+        m.submit_many(workload)
+        sched = OptimalScheduler()
+        drained = 0
+        for _ in range(4):
+            mapping = sched.schedule(m)
+            if not mapping.assignments:
+                break
+            for a in mapping:
+                assert a.resource.resource_type == a.request.resource_type
+            m.apply_mapping(mapping)
+            drained += len(mapping)
+            for r in [r.index for r in m.resources if r.busy]:
+                m.complete_service(r)
+        assert drained == len(workload)
+
+    def test_queueing_with_all_policies_conserves_tasks(self):
+        for policy in ("optimal", "greedy", "random_binding"):
+            m = MRSIN(omega(8))
+            res = simulate_queueing(m, policy=policy, arrival_rate=0.4,
+                                    horizon=120.0, seed=4)
+            assert res.completed > 0
+            assert 0.0 <= res.utilization <= 1.0
+
+
+class TestCrossSchedulerConsistency:
+    @pytest.mark.parametrize("builder", [omega, benes, gamma])
+    def test_all_optimal_paths_agree_on_value(self, builder):
+        """Software Dinic, push-relabel, the distributed tokens, and
+        the monitor must all report the same optimum on the same
+        instance."""
+        spec = WorkloadSpec(builder=builder, n_ports=8,
+                            request_density=0.8, free_density=0.7,
+                            occupied_circuits=1)
+        for seed in range(5):
+            counts = set()
+            for run in range(4):
+                m = sample_instance(spec, seed)
+                if run == 0:
+                    counts.add(len(OptimalScheduler(maxflow="dinic").schedule(m)))
+                elif run == 1:
+                    counts.add(len(OptimalScheduler(maxflow="push_relabel").schedule(m)))
+                elif run == 2:
+                    counts.add(len(DistributedScheduler().schedule(m).mapping))
+                else:
+                    counts.add(len(MonitorScheduler().schedule(m).mapping))
+            assert len(counts) == 1, f"{builder.__name__} seed {seed}: {counts}"
+
+    def test_discipline_dispatch_stable_across_cycles(self):
+        m = MRSIN(omega(8), resource_types=["a", "b"] * 4)
+        sched = OptimalScheduler()
+        m.submit(Request(0, resource_type="a"))
+        assert sched.classify(m) is Discipline.HETEROGENEOUS
+        mapping = sched.schedule(m)
+        m.apply_mapping(mapping)
+        m.submit(Request(1, resource_type="b", priority=7))
+        assert sched.classify(m) is Discipline.HETEROGENEOUS_PRIORITY
+        assert len(sched.schedule(m)) == 1
+
+    def test_greedy_never_invalidates_future_optimal(self):
+        """Apply a greedy mapping, then let the optimal scheduler work
+        with the leftovers — states must stay consistent."""
+        m = MRSIN(omega(8))
+        for p in range(8):
+            m.submit(Request(p))
+        first = greedy_schedule(m, order="random", rng=5)
+        m.apply_mapping(first)
+        second = OptimalScheduler().schedule(m)
+        second.validate(m)
+        m.apply_mapping(second)
+        assert len(first) + len(second) <= 8
