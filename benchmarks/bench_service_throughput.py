@@ -1,0 +1,130 @@
+"""SERVICE — online batched allocation vs one-request-per-solve.
+
+The service layer's claim: coalescing every pending request into one
+max-flow solve per tick (Transformation 1 over the whole batch)
+amortises the monitor's per-cycle cost, so under sustained load the
+batched service sustains a strictly higher allocation throughput than
+solving one request at a time (``max_batch=1``), while also spending
+far fewer solver instructions per allocation.
+
+Regenerates a two-load-point comparison (moderate and heavy traffic)
+and records the first perf baseline in ``BENCH_service.json``
+(allocations/sec wall-clock and mean queue wait per mode) so later
+PRs have a trajectory to compare against.
+
+Timed kernel: one short batched service run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.networks import omega
+from repro.service.driver import run_service
+from repro.sim.workload import WorkloadSpec
+from repro.util.tables import Table
+
+LOADS = (0.5, 1.5)  # arrival rate per processor: moderate, heavy
+HORIZON = 150.0
+SEED = 11
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _spec() -> WorkloadSpec:
+    return WorkloadSpec(builder=omega, n_ports=8)
+
+
+def _run(rate: float, max_batch: int | None) -> dict:
+    t0 = time.perf_counter()
+    result = run_service(
+        _spec(),
+        rate=rate,
+        horizon=HORIZON,
+        seed=SEED,
+        max_batch=max_batch,
+        queue_limit=128,
+        request_timeout=32.0,
+    )
+    elapsed = time.perf_counter() - t0
+    snap = result.snapshot
+    return {
+        "allocated": snap["allocated"],
+        "timed_out": snap["timed_out"],
+        "mean_wait": snap["mean_wait"],
+        "mean_batch": snap["mean_batch"],
+        "solver_instructions": snap["solver_instructions"],
+        "instructions_per_allocation": (
+            snap["solver_instructions"] / snap["allocated"] if snap["allocated"] else 0.0
+        ),
+        "elapsed_sec": elapsed,
+        "allocations_per_sec": snap["allocated"] / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+@pytest.mark.benchmark(group="service")
+def test_batched_vs_serial_throughput(benchmark, capsys):
+    results = {
+        (rate, mode): _run(rate, max_batch)
+        for rate in LOADS
+        for mode, max_batch in (("batched", None), ("serial", 1))
+    }
+
+    table = Table(
+        ["rate/proc", "mode", "allocated", "timed out", "mean wait",
+         "instr/alloc", "allocs/sec (wall)"],
+        title=f"SERVICE: batched vs one-request-per-solve (omega-8, horizon {HORIZON:g})",
+    )
+    for (rate, mode), r in results.items():
+        table.add_row(
+            f"{rate:g}", mode, r["allocated"], r["timed_out"],
+            f"{r['mean_wait']:.2f}", f"{r['instructions_per_allocation']:.0f}",
+            f"{r['allocations_per_sec']:.0f}",
+        )
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    # Record the perf baseline for later PRs.
+    baseline = {
+        "benchmark": "bench_service_throughput",
+        "network": "omega-8",
+        "horizon": HORIZON,
+        "seed": SEED,
+        "loads": {
+            f"rate={rate:g}": {
+                mode: {
+                    "allocations_per_sec": results[(rate, mode)]["allocations_per_sec"],
+                    "mean_wait": results[(rate, mode)]["mean_wait"],
+                    "allocated": results[(rate, mode)]["allocated"],
+                    "instructions_per_allocation": results[(rate, mode)][
+                        "instructions_per_allocation"
+                    ],
+                }
+                for mode in ("batched", "serial")
+            }
+            for rate in LOADS
+        },
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    heavy_batched = results[(1.5, "batched")]
+    heavy_serial = results[(1.5, "serial")]
+    # At heavy load the batched service strictly beats one-per-solve:
+    # more allocations inside the horizon, more per wall-clock second,
+    # and fewer solver instructions per allocation (the amortisation).
+    assert heavy_batched["allocated"] > heavy_serial["allocated"]
+    assert heavy_batched["allocations_per_sec"] > heavy_serial["allocations_per_sec"]
+    assert (
+        heavy_batched["instructions_per_allocation"]
+        < heavy_serial["instructions_per_allocation"]
+    )
+    # At moderate load batching never hurts allocation count.
+    assert results[(0.5, "batched")]["allocated"] >= results[(0.5, "serial")]["allocated"]
+
+    def kernel():
+        return run_service(_spec(), rate=0.8, horizon=30.0, seed=3).allocated
+
+    benchmark(kernel)

@@ -8,6 +8,7 @@ Examples
     python -m repro blocking --network cube --policy random_binding --trials 200
     python -m repro sweep --network omega --policies optimal greedy random_binding
     python -m repro queueing --network omega --rate 0.8 --policy optimal
+    python -m repro serve --network omega --rate 0.8 --horizon 200 --seed 7
     python -m repro tokens --seed 31
 
 Every command is a thin wrapper over the library API and prints the
@@ -61,9 +62,34 @@ TOPOLOGIES: dict[str, Callable[[int], object]] = {
 }
 
 
+def _topology_builder(name: str, ports: int) -> Callable[[int], object]:
+    """The registry builder for ``name``, validated against ``ports``.
+
+    Some registry entries cannot realise every size: ``clos`` rounds
+    odd ``n`` down to ``2*(n//2)`` ports, and the log-stage builders
+    only accept powers of two.  Building a network of a different size
+    than ``--ports`` asked for would silently skew every downstream
+    statistic, so probe-build once and exit with a clear error on any
+    mismatch.
+    """
+    builder = TOPOLOGIES[name]
+    try:
+        probe = builder(ports)
+    except ValueError as exc:
+        raise SystemExit(f"error: cannot build {name!r} with --ports {ports}: {exc}")
+    if probe.n_processors != ports or probe.n_resources != ports:
+        raise SystemExit(
+            f"error: {name!r} with --ports {ports} builds a "
+            f"{probe.n_processors}x{probe.n_resources} network, not "
+            f"{ports}x{ports}; pick a port count the topology can realise "
+            f"(e.g. an even size for clos)"
+        )
+    return builder
+
+
 def _spec(args) -> WorkloadSpec:
     return WorkloadSpec(
-        builder=TOPOLOGIES[args.network],
+        builder=_topology_builder(args.network, args.ports),
         n_ports=args.ports,
         request_density=args.request_density,
         free_density=args.free_density,
@@ -136,7 +162,7 @@ def cmd_sweep(args) -> int:
 
 def cmd_queueing(args) -> int:
     """Steady-state queueing run (utilization / response time)."""
-    m = MRSIN(TOPOLOGIES[args.network](args.ports))
+    m = MRSIN(_topology_builder(args.network, args.ports)(args.ports))
     res = simulate_queueing(
         m, policy=args.policy, arrival_rate=args.rate,
         mean_service=args.service, horizon=args.horizon, seed=args.seed,
@@ -149,6 +175,36 @@ def cmd_queueing(args) -> int:
     table.add_row("mean queue length", f"{res.mean_queue:.3f}")
     table.add_row("tasks completed", res.completed)
     print(table.render())
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Finite-horizon run of the online allocation service."""
+    from repro.service.driver import run_service
+
+    spec = WorkloadSpec(
+        builder=_topology_builder(args.network, args.ports),
+        n_ports=args.ports,
+        occupied_circuits=args.occupied,
+        priority_levels=args.priority_levels,
+    )
+    try:
+        result = run_service(
+            spec,
+            rate=args.rate,
+            horizon=args.horizon,
+            seed=args.seed,
+            tick_interval=args.tick,
+            max_batch=args.max_batch,
+            queue_limit=args.queue_limit,
+            degrade_watermark=args.watermark,
+            request_timeout=args.timeout,
+            transmission_time=args.transmission,
+            mean_service=args.service,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    print(result.render())
     return 0
 
 
@@ -244,6 +300,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--service", type=float, default=1.0, help="mean service time")
     p.add_argument("--horizon", type=float, default=200.0)
     p.set_defaults(func=cmd_queueing)
+
+    p = sub.add_parser("serve", help="run the online batched allocation service")
+    p.add_argument("--network", choices=sorted(TOPOLOGIES), default="omega")
+    p.add_argument("--ports", type=int, default=8, help="network size N")
+    p.add_argument("--rate", type=float, default=0.5, help="arrival rate per processor")
+    p.add_argument("--horizon", type=float, default=200.0, help="virtual time to run")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tick", type=float, default=1.0, help="batching tick interval")
+    p.add_argument("--max-batch", type=int, default=None,
+                   help="cap requests per solve (default: everything pending)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="bounded queue size (admission control)")
+    p.add_argument("--watermark", type=int, default=None,
+                   help="queue depth that degrades ticks to the greedy heuristic")
+    p.add_argument("--timeout", type=float, default=16.0,
+                   help="per-request deadline in virtual time units")
+    p.add_argument("--transmission", type=float, default=0.1,
+                   help="circuit-holding time per task")
+    p.add_argument("--service", type=float, default=1.0, help="mean service time")
+    p.add_argument("--occupied", type=int, default=0,
+                   help="circuits pre-established before the run")
+    p.add_argument("--priority-levels", type=int, default=1,
+                   help="draw request priorities from 1..K (K>1 uses min-cost)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("tokens", help="trace the distributed token architecture")
     _add_workload_args(p)

@@ -1,0 +1,156 @@
+"""Service-level metrics: queue depth, waits, batches, solver cost.
+
+The monitor architecture's cost model (instructions charged to an
+:class:`~repro.util.counters.OpCounter`) extends naturally to a
+service: every solve the batching loop runs charges the same counter,
+so the snapshot reports both *traffic* statistics (queue depth, wait
+times, allocations/rejections/timeouts) and *solver* cost
+(instructions per allocation — the quantity batching amortises).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.distributed.monitor import INSTRUCTION_WEIGHTS
+from repro.util.counters import OpCounter
+from repro.util.tables import Table
+
+__all__ = ["ServiceMetrics", "WAIT_BUCKET_TICKS"]
+
+# Wait-time histogram bucket upper bounds, in units of the tick
+# interval (the natural quantum: requests are only granted at ticks).
+WAIT_BUCKET_TICKS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, math.inf)
+
+
+class ServiceMetrics:
+    """Accumulating counters for one :class:`AllocationService` run.
+
+    All quantities are exact integers or sums — no wall time, no
+    sampling — so two runs over the same virtual-clock schedule
+    produce identical snapshots.
+    """
+
+    def __init__(self, counter: OpCounter, tick_interval: float = 1.0) -> None:
+        self.counter = counter
+        self.tick_interval = tick_interval
+        self.submitted = 0
+        self.rejected_full = 0
+        self.timed_out = 0
+        self.allocated = 0
+        self.released = 0
+        self.ticks = 0
+        self.degraded_ticks = 0
+        self.max_queue_depth = 0
+        self._queue_depth_sum = 0
+        self._batch_sum = 0
+        self._wait_sum = 0.0
+        self._wait_hist = [0] * len(WAIT_BUCKET_TICKS)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_admission(self, queue_depth: int) -> None:
+        """A request passed admission control and entered the queue."""
+        self.submitted += 1
+        self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+
+    def record_rejection(self) -> None:
+        """A request bounced off the full queue (backpressure)."""
+        self.rejected_full += 1
+
+    def record_timeout(self) -> None:
+        """A queued request's deadline expired before allocation."""
+        self.timed_out += 1
+
+    def record_allocation(self, wait: float) -> None:
+        """A request was granted after waiting ``wait`` time units."""
+        self.allocated += 1
+        self._wait_sum += wait
+        ticks = wait / self.tick_interval if self.tick_interval > 0 else wait
+        for i, bound in enumerate(WAIT_BUCKET_TICKS):
+            if ticks <= bound:
+                self._wait_hist[i] += 1
+                break
+
+    def record_release(self) -> None:
+        """A lease was released (resource freed)."""
+        self.released += 1
+
+    def record_tick(self, batch_size: int, queue_depth: int, degraded: bool) -> None:
+        """One scheduling cycle finished."""
+        self.ticks += 1
+        self._batch_sum += batch_size
+        self._queue_depth_sum += queue_depth
+        self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+        if degraded:
+            self.degraded_ticks += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def mean_wait(self) -> float:
+        """Mean queue wait of granted requests, in time units."""
+        return self._wait_sum / self.allocated if self.allocated else 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean scheduled batch size per tick."""
+        return self._batch_sum / self.ticks if self.ticks else 0.0
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Mean post-tick queue depth."""
+        return self._queue_depth_sum / self.ticks if self.ticks else 0.0
+
+    def wait_histogram(self) -> dict[str, int]:
+        """Granted-request waits, bucketed by tick multiples."""
+        hist: dict[str, int] = {}
+        for bound, count in zip(WAIT_BUCKET_TICKS, self._wait_hist):
+            label = f"<= {bound:g} ticks" if math.isfinite(bound) else "> 32 ticks"
+            hist[label] = count
+        return hist
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as a plain dict (JSON-serialisable)."""
+        return {
+            "ticks": self.ticks,
+            "submitted": self.submitted,
+            "allocated": self.allocated,
+            "released": self.released,
+            "timed_out": self.timed_out,
+            "rejected_full": self.rejected_full,
+            "degraded_ticks": self.degraded_ticks,
+            "mean_batch": self.mean_batch,
+            "mean_wait": self.mean_wait,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "wait_histogram": self.wait_histogram(),
+            "solver_ops": dict(sorted(self.counter.counts.items())),
+            "solver_instructions": self.counter.total(INSTRUCTION_WEIGHTS),
+        }
+
+    def render(self, title: str | None = None) -> str:
+        """ASCII table of the snapshot (histogram rows inlined)."""
+        snap = self.snapshot()
+        table = Table(["metric", "value"], title=title or "service metrics")
+        for key in (
+            "ticks", "submitted", "allocated", "released", "timed_out",
+            "rejected_full", "degraded_ticks",
+        ):
+            table.add_row(key, snap[key])
+        table.add_row("mean_batch", f"{snap['mean_batch']:.3f}")
+        table.add_row("mean_wait", f"{snap['mean_wait']:.3f}")
+        table.add_row("mean_queue_depth", f"{snap['mean_queue_depth']:.3f}")
+        table.add_row("max_queue_depth", snap["max_queue_depth"])
+        for label, count in snap["wait_histogram"].items():
+            table.add_row(f"wait {label}", count)
+        table.add_row("solver_instructions", f"{snap['solver_instructions']:.0f}")
+        if snap["allocated"]:
+            table.add_row(
+                "instructions_per_allocation",
+                f"{snap['solver_instructions'] / snap['allocated']:.1f}",
+            )
+        return table.render()

@@ -1,0 +1,403 @@
+"""The allocation service: monitor-as-a-service over any MRSIN.
+
+The paper's Section IV monitor runs one flow solve per scheduling
+cycle over a static snapshot.  :class:`AllocationService` turns that
+cycle into an *online* server: clients ``await acquire(request)`` and
+get back a :class:`Lease`; a batching loop wakes every tick, coalesces
+everything pending into **one** max-flow solve (amortising Dinic over
+the batch, exactly Transformation 1 with many requests), applies the
+optimal mapping, and resolves the winners' futures.  Releases tear
+circuits down and free resources, so the network state genuinely
+evolves across cycles — the heavy-traffic resource-sharing regime.
+
+Admission control and backpressure:
+
+- a **bounded queue** (``queue_limit``): requests arriving at a full
+  queue are rejected immediately with :class:`AllocationRejected`;
+- a **deadline per request** (``timeout``): a request that cannot be
+  scheduled keeps its FIFO position and is deterministically re-queued
+  tick after tick until its deadline passes, at which point it is
+  rejected with :class:`AllocationTimeout` (deadlines are checked at
+  tick boundaries only, so runs are reproducible under a virtual
+  clock);
+- a **degradation watermark** (``degrade_watermark``): when the queue
+  depth crosses it, the tick falls back from the optimal flow solver
+  to the deterministic greedy heuristic — trading allocation quality
+  for solve latency under overload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.core.heuristic import greedy_schedule
+from repro.core.model import MRSIN
+from repro.core.requests import Request
+from repro.core.scheduler import OptimalScheduler
+from repro.networks.topology import Circuit
+from repro.service.clock import Clock, MonotonicClock
+from repro.service.metrics import ServiceMetrics
+from repro.util.counters import OpCounter
+
+__all__ = [
+    "AllocationError",
+    "AllocationRejected",
+    "AllocationTimeout",
+    "AllocationService",
+    "Lease",
+    "ServiceClosed",
+    "ServiceConfig",
+]
+
+
+class AllocationError(Exception):
+    """Base class for allocation-service failures."""
+
+
+class AllocationRejected(AllocationError):
+    """Admission control bounced the request (queue full)."""
+
+
+class AllocationTimeout(AllocationError):
+    """The request's deadline expired before it could be scheduled."""
+
+
+class ServiceClosed(AllocationError):
+    """The service was closed while the request was queued."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of the batching loop.
+
+    Attributes
+    ----------
+    tick_interval:
+        Virtual/real seconds between scheduling cycles.
+    max_batch:
+        Cap on requests entering one solve (``None`` = everything
+        pending).  ``max_batch=1`` degenerates to one-request-per-solve
+        — the unbatched comparator in the throughput benchmark.
+    queue_limit:
+        Bounded-queue size for admission control.
+    degrade_watermark:
+        Queue depth above which ticks use the greedy heuristic instead
+        of the optimal flow solver (``None`` = never degrade).
+    default_timeout:
+        Deadline applied when ``acquire`` is called without one
+        (``None`` = wait indefinitely).
+    maxflow, mincost:
+        Solver choices forwarded to :class:`OptimalScheduler`.
+    """
+
+    tick_interval: float = 1.0
+    max_batch: int | None = None
+    queue_limit: int = 64
+    degrade_watermark: int | None = None
+    default_timeout: float | None = None
+    maxflow: str = "dinic"
+    mincost: str = "out_of_kilter"
+
+    def __post_init__(self) -> None:
+        if self.tick_interval <= 0:
+            raise ValueError(f"tick_interval must be positive, got {self.tick_interval}")
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.degrade_watermark is not None and self.degrade_watermark < 0:
+            raise ValueError("degrade_watermark must be >= 0")
+
+
+@dataclass
+class Lease:
+    """A granted allocation: one resource, one (initially held) circuit.
+
+    Model item 5's two-phase lifetime maps onto two calls:
+    :meth:`AllocationService.end_transmission` releases the circuit
+    while the resource keeps serving; :meth:`AllocationService.release`
+    frees the resource (tearing down the circuit too if still held).
+    """
+
+    lease_id: int
+    request: Request
+    resource: int
+    circuit: Circuit
+    acquired_at: float
+    waited: float
+    transmitting: bool = True
+    active: bool = True
+
+
+@dataclass
+class _Entry:
+    """One queued acquire() call."""
+
+    request: Request
+    future: asyncio.Future
+    submitted: float
+    deadline: float
+    seq: int = field(default=0)
+
+
+class AllocationService:
+    """Online batched allocation over an :class:`MRSIN`.
+
+    Use as an async context manager (starts/stops the tick loop), or
+    drive ticks by hand with :meth:`run_one_cycle` — tests and the
+    property suite do the latter for exact control.
+
+    Parameters
+    ----------
+    mrsin:
+        The system to serve.  The service owns its request queue;
+        ``mrsin.pending`` stays empty.
+    config:
+        A :class:`ServiceConfig` (defaults are sensible for tests).
+    clock:
+        Time source; defaults to the event-loop wall clock.  Pass a
+        :class:`~repro.service.clock.VirtualClock` for deterministic
+        runs.
+    """
+
+    def __init__(
+        self,
+        mrsin: MRSIN,
+        *,
+        config: ServiceConfig | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.mrsin = mrsin
+        self.config = config or ServiceConfig()
+        self.clock = clock or MonotonicClock()
+        self.counter = OpCounter()
+        self.metrics = ServiceMetrics(self.counter, self.config.tick_interval)
+        self._scheduler = OptimalScheduler(
+            maxflow=self.config.maxflow,
+            mincost=self.config.mincost,
+            counter=self.counter,
+        )
+        self._queue: list[_Entry] = []
+        self._leases: dict[int, Lease] = {}
+        self._ids = itertools.count(1)
+        self._seq = itertools.count()
+        self._loop_task: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the background tick loop."""
+        if self._closed:
+            raise ServiceClosed("service already closed")
+        if self._loop_task is None:
+            self._loop_task = asyncio.get_running_loop().create_task(self._tick_loop())
+
+    async def close(self) -> None:
+        """Stop the loop and fail all queued requests with ServiceClosed."""
+        self._closed = True
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            try:
+                await self._loop_task
+            except asyncio.CancelledError:
+                pass
+            self._loop_task = None
+        for entry in self._queue:
+            if not entry.future.done():
+                entry.future.set_exception(ServiceClosed("service closed"))
+        self._queue.clear()
+
+    async def __aenter__(self) -> "AllocationService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _tick_loop(self) -> None:
+        while True:
+            await self.clock.sleep(self.config.tick_interval)
+            self.run_one_cycle()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a tick."""
+        return len(self._queue)
+
+    @property
+    def active_leases(self) -> int:
+        """Leases granted and not yet released."""
+        return len(self._leases)
+
+    async def acquire(self, request: Request, *, timeout: float | None = None) -> Lease:
+        """Queue ``request`` and await its lease.
+
+        Raises :class:`AllocationRejected` immediately when the queue
+        is full, :class:`AllocationTimeout` when the deadline (from
+        ``timeout`` or the config default) passes before a tick can
+        serve it, and :class:`ServiceClosed` if the service shuts down
+        first.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        if not 0 <= request.processor < self.mrsin.n_processors:
+            raise ValueError(
+                f"processor {request.processor} outside [0, {self.mrsin.n_processors})"
+            )
+        if request.resource_type not in self.mrsin.resource_types:
+            raise ValueError(f"no resource of type {request.resource_type!r} in this system")
+        if len(self._queue) >= self.config.queue_limit:
+            self.metrics.record_rejection()
+            raise AllocationRejected(
+                f"queue full ({self.config.queue_limit} requests waiting)"
+            )
+        if timeout is None:
+            timeout = self.config.default_timeout
+        now = self.clock.now()
+        entry = _Entry(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            submitted=now,
+            deadline=now + timeout if timeout is not None else math.inf,
+            seq=next(self._seq),
+        )
+        self._queue.append(entry)
+        self.metrics.record_admission(len(self._queue))
+        return await entry.future
+
+    def release(self, lease: Lease) -> None:
+        """Free the lease's resource (and its circuit, if still held)."""
+        if not lease.active:
+            raise AllocationError(f"lease {lease.lease_id} already released")
+        self.mrsin.complete_service(lease.resource)
+        lease.active = False
+        lease.transmitting = False
+        del self._leases[lease.lease_id]
+        self.metrics.record_release()
+
+    def end_transmission(self, lease: Lease) -> None:
+        """Release only the circuit; the resource keeps serving.
+
+        Model item 5: *"The circuit ... can be released once the
+        request has been transmitted"* — the processor's input link
+        becomes free for its next request.
+        """
+        if not lease.active:
+            raise AllocationError(f"lease {lease.lease_id} already released")
+        if not lease.transmitting:
+            return
+        self.mrsin.complete_transmission(lease.resource)
+        lease.transmitting = False
+
+    # ------------------------------------------------------------------
+    # The scheduling cycle
+    # ------------------------------------------------------------------
+    def run_one_cycle(self) -> list[Lease]:
+        """Run one scheduling cycle synchronously; returns new leases.
+
+        The tick loop calls this every ``tick_interval``; tests may
+        call it directly for exact tick control.
+        """
+        now = self.clock.now()
+        self._expire_deadlines(now)
+        batch = self._select_batch()
+        degraded = (
+            self.config.degrade_watermark is not None
+            and len(self._queue) > self.config.degrade_watermark
+        )
+        leases: list[Lease] = []
+        if batch:
+            requests = [entry.request for entry in batch]
+            if degraded:
+                mapping = greedy_schedule(self.mrsin, requests, order="nearest")
+            else:
+                mapping = self._scheduler.schedule(self.mrsin, requests)
+            # Charge the serial status-read / switch-write overhead the
+            # monitor cost model accounts for (once per solve — this is
+            # precisely what batching amortises).
+            self.counter.charge("transform_arc", len(self.mrsin.network.links))
+            self.counter.charge("extract", sum(len(a.path) for a in mapping.assignments))
+            circuits = self.mrsin.apply_mapping(mapping)
+            by_processor = {entry.request.processor: entry for entry in batch}
+            for assignment, circuit in zip(mapping.assignments, circuits):
+                entry = by_processor[assignment.request.processor]
+                lease = Lease(
+                    lease_id=next(self._ids),
+                    request=entry.request,
+                    resource=assignment.resource.index,
+                    circuit=circuit,
+                    acquired_at=now,
+                    waited=now - entry.submitted,
+                )
+                self._leases[lease.lease_id] = lease
+                self._queue.remove(entry)
+                self.metrics.record_allocation(lease.waited)
+                if not entry.future.done():
+                    entry.future.set_result(lease)
+                leases.append(lease)
+        self.metrics.record_tick(
+            batch_size=len(leases), queue_depth=len(self._queue), degraded=degraded
+        )
+        return leases
+
+    def _expire_deadlines(self, now: float) -> None:
+        """Reject queued entries whose deadline has passed."""
+        alive: list[_Entry] = []
+        for entry in self._queue:
+            if entry.future.cancelled():
+                continue
+            if entry.deadline <= now:
+                entry.future.set_exception(
+                    AllocationTimeout(
+                        f"request from processor {entry.request.processor} "
+                        f"expired after {now - entry.submitted:g} time units"
+                    )
+                )
+                self.metrics.record_timeout()
+            else:
+                alive.append(entry)
+        self._queue = alive
+
+    def _select_batch(self) -> list[_Entry]:
+        """FIFO batch: ≤1 request per processor, idle input links only.
+
+        Mirrors :meth:`MRSIN.schedulable_requests` over the service's
+        own queue (model item 5), truncated at ``max_batch``.
+        """
+        limit = self.config.max_batch or len(self._queue)
+        batch: list[_Entry] = []
+        seen: set[int] = set()
+        for entry in self._queue:
+            if len(batch) >= limit:
+                break
+            proc = entry.request.processor
+            if proc in seen:
+                continue
+            if self.mrsin.network.processor_link(proc).occupied:
+                continue
+            seen.add(proc)
+            batch.append(entry)
+        return batch
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Current metrics snapshot plus live queue/lease gauges."""
+        snap = self.metrics.snapshot()
+        snap["queue_depth"] = self.queue_depth
+        snap["active_leases"] = self.active_leases
+        snap["utilization"] = self.mrsin.utilization()
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AllocationService({self.mrsin.network.name!r}, "
+            f"queue={self.queue_depth}, leases={self.active_leases})"
+        )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -44,6 +45,18 @@ class SweepResult:
         return table.render()
 
 
+def _label_offset(label: str) -> int:
+    """A stable 32-bit seed offset derived from the point label.
+
+    Hashing the label (rather than the enumeration index) means
+    inserting, removing, or reordering sweep points leaves every other
+    point's instance stream untouched.  SHA-256 is used for stability
+    across processes and Python versions (builtin ``hash`` is salted).
+    """
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
 def sweep(
     title: str,
     points: Iterable[tuple[str, WorkloadSpec]],
@@ -54,15 +67,16 @@ def sweep(
 ) -> SweepResult:
     """Estimate blocking for every (sweep point, policy) pair.
 
-    All policies see the same instance stream at each point (the seed
-    is derived from the point label), making columns directly
-    comparable.
+    All policies see the same instance stream at each point: the
+    per-point seed is ``seed`` plus a stable hash of the point label,
+    so columns are directly comparable and adding or reordering points
+    never perturbs the streams of existing points.
     """
     points = list(points)
     result = SweepResult(title=title, policies=list(policies), points=[p for p, _ in points])
-    for i, (label, spec) in enumerate(points):
+    for label, spec in points:
         for policy in policies:
             result.rows[(label, policy)] = estimate_blocking(
-                spec, policy, trials=trials, seed=seed + 7919 * i
+                spec, policy, trials=trials, seed=seed + _label_offset(label)
             )
     return result

@@ -1,0 +1,133 @@
+"""Tests for the deterministic service driver and its CLI wrapper."""
+
+import pytest
+
+from repro.cli import main
+from repro.networks import omega
+from repro.service.driver import run_service
+from repro.sim.workload import WorkloadSpec
+
+
+def spec(**kwargs):
+    defaults = dict(builder=omega, n_ports=8)
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+class TestDriver:
+    def test_same_seed_same_snapshot(self):
+        a = run_service(spec(), rate=0.8, horizon=40.0, seed=7)
+        b = run_service(spec(), rate=0.8, horizon=40.0, seed=7)
+        assert a.snapshot == b.snapshot
+        assert a.render() == b.render()
+
+    def test_different_seed_different_traffic(self):
+        a = run_service(spec(), rate=0.8, horizon=40.0, seed=1)
+        b = run_service(spec(), rate=0.8, horizon=40.0, seed=2)
+        assert a.snapshot != b.snapshot
+
+    def test_conservation_of_requests(self):
+        res = run_service(spec(), rate=0.8, horizon=60.0, seed=3)
+        snap = res.snapshot
+        # Every admitted request is allocated, timed out, or still queued.
+        assert (
+            snap["submitted"]
+            == snap["allocated"] + snap["timed_out"] + snap["queue_depth"]
+        )
+        # Leases are released or still active.
+        assert snap["allocated"] == snap["released"] + snap["active_leases"]
+        assert snap["ticks"] == 60
+
+    def test_overload_triggers_timeouts_and_backpressure(self):
+        res = run_service(
+            spec(n_ports=4),
+            rate=4.0,              # ~16 requests/tick into 4 resources
+            horizon=60.0,
+            seed=5,
+            queue_limit=6,
+            request_timeout=4.0,
+            mean_service=4.0,
+        )
+        snap = res.snapshot
+        assert snap["rejected_full"] > 0
+        assert snap["timed_out"] > 0
+        assert snap["max_queue_depth"] <= 6
+
+    def test_degradation_under_watermark(self):
+        res = run_service(
+            spec(n_ports=8),
+            rate=3.0,
+            horizon=40.0,
+            seed=9,
+            degrade_watermark=2,
+            mean_service=2.0,
+        )
+        assert res.snapshot["degraded_ticks"] > 0
+
+    def test_heterogeneous_and_priority_traffic(self):
+        res = run_service(
+            spec(resource_types=("fft", "io"), priority_levels=3),
+            rate=0.5,
+            horizon=30.0,
+            seed=11,
+        )
+        assert res.snapshot["allocated"] > 0
+
+    def test_batched_amortises_solver_cost(self):
+        """The tentpole claim at the library level: batching spends
+        fewer solver instructions per allocation than one-per-solve."""
+        batched = run_service(spec(), rate=1.5, horizon=40.0, seed=13)
+        serial = run_service(spec(), rate=1.5, horizon=40.0, seed=13, max_batch=1)
+        per_alloc = lambda r: (
+            r.snapshot["solver_instructions"] / max(r.snapshot["allocated"], 1)
+        )
+        assert batched.allocated >= serial.allocated
+        assert per_alloc(batched) < per_alloc(serial)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            run_service(spec(), rate=0.0)
+
+
+class TestServeCLI:
+    def test_serve_smoke(self, capsys):
+        assert main([
+            "serve", "--network", "omega", "--rate", "0.8",
+            "--horizon", "30", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "allocated" in out
+        assert "seed=7" in out
+
+    def test_serve_deterministic_output(self, capsys):
+        argv = ["serve", "--rate", "0.6", "--horizon", "25", "--seed", "4"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_with_knobs(self, capsys):
+        assert main([
+            "serve", "--network", "crossbar", "--ports", "6", "--rate", "2.0",
+            "--horizon", "20", "--queue-limit", "8", "--watermark", "4",
+            "--max-batch", "4", "--timeout", "3", "--priority-levels", "2",
+        ]) == 0
+        assert "degraded_ticks" in capsys.readouterr().out
+
+
+class TestPortValidation:
+    def test_clos_odd_ports_rejected(self):
+        with pytest.raises(SystemExit, match="6x6"):
+            main(["serve", "--network", "clos", "--ports", "7", "--horizon", "5"])
+
+    def test_clos_odd_ports_rejected_for_schedule_too(self):
+        with pytest.raises(SystemExit, match="clos"):
+            main(["schedule", "--network", "clos", "--ports", "7"])
+
+    def test_power_of_two_builders_report_cleanly(self):
+        with pytest.raises(SystemExit, match="power of two"):
+            main(["blocking", "--network", "omega", "--ports", "6", "--trials", "2"])
+
+    def test_valid_sizes_still_work(self, capsys):
+        assert main(["schedule", "--network", "clos", "--ports", "8"]) == 0
+        assert "allocated" in capsys.readouterr().out
