@@ -1,4 +1,5 @@
-"""SERVICE — online batched allocation vs one-request-per-solve.
+"""SERVICE — online batched allocation vs one-request-per-solve,
+and warm-start vs cold per-tick scheduling.
 
 The service layer's claim: coalescing every pending request into one
 max-flow solve per tick (Transformation 1 over the whole batch)
@@ -7,24 +8,37 @@ batched service sustains a strictly higher allocation throughput than
 solving one request at a time (``max_batch=1``), while also spending
 far fewer solver instructions per allocation.
 
+The incremental engine's claim: keeping one persistent
+Transformation-1 network across ticks (releases retract their flow,
+solves augment from the standing flow) beats rebuilding the network
+from scratch every cycle.  The steady-state section drives
+``run_one_cycle`` directly under sustained churn on an omega-32 and
+times only the scheduling cycle — warm must sustain ≥1.5× the
+cold ticks/sec, with identical allocation counts.
+
 Regenerates a two-load-point comparison (moderate and heavy traffic)
-and records the first perf baseline in ``BENCH_service.json``
-(allocations/sec wall-clock and mean queue wait per mode) so later
-PRs have a trajectory to compare against.
+plus the warm/cold steady-state rates, recorded in
+``BENCH_service.json`` so later PRs have a trajectory to compare
+against.
 
 Timed kernel: one short batched service run.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
+from repro.core import MRSIN, Request
 from repro.networks import omega
+from repro.service.clock import VirtualClock
 from repro.service.driver import run_service
+from repro.service.server import AllocationService, ServiceConfig
 from repro.sim.workload import WorkloadSpec
 from repro.util.tables import Table
 
@@ -32,6 +46,13 @@ LOADS = (0.5, 1.5)  # arrival rate per processor: moderate, heavy
 HORIZON = 150.0
 SEED = 11
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+# Steady-state warm-vs-cold measurement (high load, direct tick drive).
+STEADY_PORTS = 32
+STEADY_TICKS = 240
+STEADY_WARMUP = 8  # ticks excluded from timing (includes the cold build)
+STEADY_HOLD = 3  # ticks a lease is held before release
+STEADY_SPEEDUP = 1.5
 
 
 def _spec() -> WorkloadSpec:
@@ -65,6 +86,64 @@ def _run(rate: float, max_batch: int | None) -> dict:
     }
 
 
+def _steady_state(warm_start: bool) -> dict:
+    """Sustained-churn tick rate with timing confined to the cycle.
+
+    Every tick: leases older than ``STEADY_HOLD`` ticks are released,
+    every idle processor re-requests with probability 0.9, and one
+    scheduling cycle runs.  Only ``run_one_cycle`` is timed (after the
+    warm-up), so the rate isolates scheduling cost — the asyncio
+    plumbing around it is identical in both configurations.
+    """
+
+    async def scenario() -> dict:
+        mrsin = MRSIN(omega(STEADY_PORTS))
+        service = AllocationService(
+            mrsin,
+            config=ServiceConfig(queue_limit=4 * STEADY_PORTS, warm_start=warm_start),
+            clock=VirtualClock(),
+        )
+        rng = np.random.default_rng(SEED)
+        held: list[tuple[int, object]] = []
+        holding: set[int] = set()
+        tasks: list[asyncio.Task] = []
+        solve_time = 0.0
+        timed_ticks = 0
+        allocated = 0
+        for tick in range(STEADY_TICKS):
+            while held and held[0][0] <= tick:
+                _, lease = held.pop(0)
+                service.release(lease)
+                holding.discard(lease.request.processor)
+            for p in range(STEADY_PORTS):
+                if p not in holding and rng.random() < 0.9:
+                    tasks.append(asyncio.ensure_future(service.acquire(Request(p))))
+            for _ in range(2):
+                await asyncio.sleep(0)
+            t0 = time.perf_counter()
+            leases = service.run_one_cycle()
+            elapsed = time.perf_counter() - t0
+            if tick >= STEADY_WARMUP:
+                solve_time += elapsed
+                timed_ticks += 1
+            allocated += len(leases)
+            for lease in leases:
+                held.append((tick + STEADY_HOLD, lease))
+                holding.add(lease.request.processor)
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        snap = service.snapshot()
+        return {
+            "ticks_per_sec": timed_ticks / solve_time,
+            "allocated": allocated,
+            "engine_builds": snap.get("engine_builds"),
+        }
+
+    return asyncio.run(scenario())
+
+
 @pytest.mark.benchmark(group="service")
 def test_batched_vs_serial_throughput(benchmark, capsys):
     results = {
@@ -87,6 +166,24 @@ def test_batched_vs_serial_throughput(benchmark, capsys):
     with capsys.disabled():
         print("\n" + table.render())
 
+    # Warm-start vs cold per-tick scheduling at high sustained load.
+    warm = _steady_state(warm_start=True)
+    cold = _steady_state(warm_start=False)
+    speedup = warm["ticks_per_sec"] / cold["ticks_per_sec"]
+    steady_table = Table(
+        ["engine", "ticks/sec (solve)", "allocated", "builds"],
+        title=(
+            f"SERVICE: steady-state scheduling rate, warm vs cold "
+            f"(omega-{STEADY_PORTS}, {STEADY_TICKS} ticks, speedup {speedup:.2f}x)"
+        ),
+    )
+    steady_table.add_row(
+        "warm", f"{warm['ticks_per_sec']:.0f}", warm["allocated"], warm["engine_builds"]
+    )
+    steady_table.add_row("cold", f"{cold['ticks_per_sec']:.0f}", cold["allocated"], "-")
+    with capsys.disabled():
+        print("\n" + steady_table.render())
+
     # Record the perf baseline for later PRs.
     baseline = {
         "benchmark": "bench_service_throughput",
@@ -107,8 +204,22 @@ def test_batched_vs_serial_throughput(benchmark, capsys):
             }
             for rate in LOADS
         },
+        "steady_state": {
+            "network": f"omega-{STEADY_PORTS}",
+            "ticks": STEADY_TICKS,
+            "hold_ticks": STEADY_HOLD,
+            "warm": warm,
+            "cold": cold,
+            "speedup": speedup,
+        },
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    # The incremental engine's claim: same allocations, one build,
+    # and ≥1.5× the cold steady-state scheduling rate.
+    assert warm["allocated"] == cold["allocated"]
+    assert warm["engine_builds"] == 1
+    assert speedup >= STEADY_SPEEDUP
 
     heavy_batched = results[(1.5, "batched")]
     heavy_serial = results[(1.5, "serial")]

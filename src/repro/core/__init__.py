@@ -13,6 +13,9 @@ code:
   from integral flows back to circuits (Theorems 1–3);
 - :mod:`repro.core.scheduler` — the :class:`OptimalScheduler` facade
   dispatching per Table II;
+- :mod:`repro.core.incremental` — the warm-start
+  :class:`IncrementalFlowEngine` persisting one Transformation-1
+  network across scheduling cycles;
 - :mod:`repro.core.heuristic` — address-mapped greedy comparators
   (the paper's "heuristic routing", ~20% blocking);
 - :mod:`repro.core.mapping` — request→resource mappings with their
@@ -31,6 +34,7 @@ from repro.core.transform import (
     extract_mapping,
     extract_multicommodity_mapping,
 )
+from repro.core.incremental import IncrementalFlowEngine
 from repro.core.scheduler import Discipline, OptimalScheduler
 from repro.core.heuristic import greedy_schedule, arbitrary_schedule, random_binding_schedule
 from repro.core.exhaustive import exhaustive_schedule, count_candidate_mappings
@@ -50,6 +54,7 @@ __all__ = [
     "extract_mapping",
     "extract_multicommodity_mapping",
     "Discipline",
+    "IncrementalFlowEngine",
     "OptimalScheduler",
     "greedy_schedule",
     "arbitrary_schedule",

@@ -109,6 +109,16 @@ class MRSIN:
         """Processors with at least one pending request."""
         return {req.processor for req in self.pending}
 
+    def transmitting_circuits(self) -> dict[int, Circuit]:
+        """Resource index → circuit currently transmitting into it.
+
+        A read-only snapshot of the allocation lifecycle state; the
+        incremental flow engine uses it to register committed circuits
+        (their held links and the arcs they map to) when it builds or
+        rebuilds its persistent network.
+        """
+        return dict(self._transmitting)
+
     # ------------------------------------------------------------------
     # Request lifecycle
     # ------------------------------------------------------------------

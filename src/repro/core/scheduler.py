@@ -32,6 +32,7 @@ from repro.core.transform import (
     transformation1,
     transformation2,
 )
+from repro.core.incremental import IncrementalFlowEngine
 from repro.flows.dinic import dinic
 from repro.flows.maxflow import edmonds_karp, ford_fulkerson
 from repro.flows.mincost import cycle_cancel_min_cost, min_cost_flow
@@ -43,7 +44,7 @@ from repro.flows.multicommodity import (
 from repro.flows.network_simplex import network_simplex
 from repro.flows.out_of_kilter import out_of_kilter
 from repro.flows.push_relabel import push_relabel
-from repro.flows.validate import check_flow, is_integral
+from repro.flows.validate import FlowViolation, check_flow, is_integral
 from repro.util.counters import OpCounter
 
 __all__ = ["Discipline", "OptimalScheduler", "SchedulerStats"]
@@ -124,7 +125,7 @@ class OptimalScheduler:
     def classify(self, mrsin: MRSIN, requests: Sequence[Request] | None = None) -> Discipline:
         """Which Table II row applies to this system right now."""
         reqs = mrsin.schedulable_requests() if requests is None else list(requests)
-        hetero = len({r.resource_type for r in reqs} | set()) > 1 or mrsin.is_heterogeneous
+        hetero = len({r.resource_type for r in reqs}) > 1 or mrsin.is_heterogeneous
         priority = any(r.priority != 1 for r in reqs) or any(
             res.preference != 1 for res in mrsin.resources
         )
@@ -167,19 +168,55 @@ class OptimalScheduler:
         self.stats.n_allocated = len(mapping)
         return mapping
 
+    def schedule_incremental(
+        self,
+        mrsin: MRSIN,
+        requests: Sequence[Request] | None = None,
+        *,
+        engine: "IncrementalFlowEngine",
+    ) -> Mapping:
+        """Warm-start variant of :meth:`schedule`.
+
+        Homogeneous cycles are solved on ``engine``'s persistent
+        network — usually 0–2 Dinic phases atop the standing flow
+        instead of a full rebuild-and-solve — and allocate exactly as
+        many requests as the cold path would on the same state.  Any
+        other discipline (priorities, heterogeneity) falls back to the
+        cold per-cycle solve.
+
+        Either way the caller must apply the returned mapping and then
+        call ``engine.commit(mapping)`` so the persistent flow keeps
+        tracking the physical circuits.
+        """
+        reqs = mrsin.schedulable_requests() if requests is None else list(requests)
+        discipline = self.classify(mrsin, reqs)
+        if discipline is not Discipline.HOMOGENEOUS:
+            return self.schedule(mrsin, reqs, discipline=discipline)
+        self.stats = SchedulerStats(discipline=discipline, n_requests=len(reqs))
+        if not reqs:
+            return Mapping()
+        mapping = engine.schedule(reqs)
+        self.stats.flow_value = engine.last_new_flow
+        self.stats.n_allocated = len(mapping)
+        return mapping
+
     # ------------------------------------------------------------------
     def _schedule_homogeneous(self, mrsin: MRSIN, reqs: Sequence[Request]) -> Mapping:
         problem = transformation1(mrsin, reqs)
         algorithm = MAXFLOW_ALGORITHMS[self.maxflow]
         result = algorithm(problem.net, problem.source, problem.sink, counter=self.counter)
-        assert is_integral(problem.net), "unit-capacity max flow must be integral"
+        # Real exceptions, not asserts: these integrality/legality
+        # checks guard circuit realisability and must survive `python -O`.
+        if not is_integral(problem.net):
+            raise FlowViolation("unit-capacity max flow must be integral")
         check_flow(problem.net, problem.source, problem.sink)
         self.stats.flow_value = result.value
         return extract_mapping(problem, mrsin)
 
     def _schedule_priority(self, mrsin: MRSIN, reqs: Sequence[Request]) -> Mapping:
         problem = transformation2(mrsin, reqs)
-        assert problem.required_flow is not None
+        if problem.required_flow is None:
+            raise ValueError("transformation2 produced no required flow F0")
         if self.mincost == "out_of_kilter":
             result = out_of_kilter(
                 problem.net, problem.source, problem.sink,
@@ -200,7 +237,8 @@ class OptimalScheduler:
                 problem.net, problem.source, problem.sink,
                 target_flow=problem.required_flow, counter=self.counter,
             )
-        assert is_integral(problem.net), "0-1 min-cost flow must be integral"
+        if not is_integral(problem.net):
+            raise FlowViolation("0-1 min-cost flow must be integral")
         check_flow(problem.net, problem.source, problem.sink)
         self.stats.flow_value = result.value
         self.stats.flow_cost = result.cost

@@ -48,6 +48,7 @@ __all__ = [
     "extract_mapping",
     "extract_multicommodity_mapping",
     "bypass_cost",
+    "link_nodes",
 ]
 
 
@@ -64,6 +65,11 @@ class TransformedProblem:
         Terminal node names.
     arc_link:
         Flow-arc index → physical :class:`Link` for the ``B`` arcs.
+    arc_of_link:
+        The inverse index: ``Link.index`` → flow-arc index.  Circuit
+        teardown (the incremental engine retracting a released
+        circuit's unit of flow) maps a link path back to its flow arcs
+        in O(path length) through this dict.
     request_of:
         Processor index → the request scheduled for it this cycle.
     bypass:
@@ -76,6 +82,7 @@ class TransformedProblem:
     source: Hashable
     sink: Hashable
     arc_link: dict[int, Link] = field(default_factory=dict)
+    arc_of_link: dict[int, int] = field(default_factory=dict)
     request_of: dict[int, Request] = field(default_factory=dict)
     bypass: Hashable | None = None
     required_flow: int | None = None
@@ -103,29 +110,45 @@ def bypass_cost(mrsin: MRSIN) -> float:
     return float(max(mrsin.max_priority + 1, mrsin.max_preference + 1))
 
 
+def link_nodes(link: Link) -> tuple[Hashable, Hashable]:
+    """The flow-network (tail, head) node names of a physical link."""
+    if link.src.kind == "proc":
+        tail: Hashable = ("p", link.src.box)
+    else:
+        tail = ("x", link.src.stage, link.src.box)
+    if link.dst.kind == "res":
+        head: Hashable = ("r", link.dst.box)
+    else:
+        head = ("x", link.dst.stage, link.dst.box)
+    return tail, head
+
+
 def _add_structure_arcs(
-    net: FlowNetwork, mrsin: MRSIN, arc_link: dict[int, Link]
+    net: FlowNetwork,
+    mrsin: MRSIN,
+    problem: TransformedProblem,
+    *,
+    include_occupied: bool = False,
 ) -> dict[int, Arc]:
     """Steps T2/T3 for the ``B`` arc set: one unit arc per *free* link.
 
     Occupied links get capacity zero in the paper and are then removed
-    by step T4; we simply never add them.  Returns resource index →
-    the arc entering its ``("r", j)`` node (used to wire ``T`` arcs).
+    by step T4; we simply never add them — except for the persistent
+    (incremental-engine) network, which passes ``include_occupied=True``
+    to materialise them as capacity-0 arcs so the structure never has
+    to be rebuilt when occupancy changes.  Both the forward
+    (``arc_link``) and inverse (``arc_of_link``) indices are filled.
+    Returns resource index → the arc entering its ``("r", j)`` node
+    (used to wire ``T`` arcs).
     """
     resource_in_arc: dict[int, Arc] = {}
     for link in mrsin.network.links:
-        if link.occupied:
+        if link.occupied and not include_occupied:
             continue
-        if link.src.kind == "proc":
-            tail: Hashable = ("p", link.src.box)
-        else:
-            tail = ("x", link.src.stage, link.src.box)
-        if link.dst.kind == "res":
-            head: Hashable = ("r", link.dst.box)
-        else:
-            head = ("x", link.dst.stage, link.dst.box)
-        arc = net.add_arc(tail, head, capacity=1)
-        arc_link[arc.index] = link
+        tail, head = link_nodes(link)
+        arc = net.add_arc(tail, head, capacity=0 if link.occupied else 1)
+        problem.arc_link[arc.index] = link
+        problem.arc_of_link[link.index] = arc.index
         if link.dst.kind == "res":
             resource_in_arc[link.dst.box] = arc
     return resource_in_arc
@@ -159,7 +182,7 @@ def transformation1(
     for req in reqs:
         net.add_arc("s", ("p", req.processor), capacity=1)
         problem.request_of[req.processor] = req
-    resource_in = _add_structure_arcs(net, mrsin, problem.arc_link)
+    resource_in = _add_structure_arcs(net, mrsin, problem)
     for res in mrsin.free_resources():
         if res.index in resource_in:
             net.add_arc(("r", res.index), "t", capacity=1)
@@ -203,7 +226,7 @@ def transformation2(
         problem.request_of[req.processor] = req
     if reqs:
         net.add_arc("u", "t", capacity=len(reqs), cost=penalty)
-    resource_in = _add_structure_arcs(net, mrsin, problem.arc_link)
+    resource_in = _add_structure_arcs(net, mrsin, problem)
     for res in mrsin.free_resources():
         if res.preference > mrsin.max_preference:
             raise ValueError(
@@ -244,7 +267,7 @@ def heterogeneous_max_problem(
     net = FlowNetwork()
     meta = TransformedProblem(net=net, source="s", sink="t")
     types = _commodity_types(mrsin, reqs)
-    resource_in = _add_structure_arcs(net, mrsin, meta.arc_link)
+    resource_in = _add_structure_arcs(net, mrsin, meta)
     commodities = []
     for k, rtype in enumerate(types):
         src, dst = ("s", rtype), ("t", rtype)
@@ -274,7 +297,7 @@ def heterogeneous_min_cost_problem(
     meta = TransformedProblem(net=net, source="s", sink="t")
     penalty = bypass_cost(mrsin)
     types = _commodity_types(mrsin, reqs)
-    resource_in = _add_structure_arcs(net, mrsin, meta.arc_link)
+    resource_in = _add_structure_arcs(net, mrsin, meta)
     commodities = []
     for rtype in types:
         src, dst, byp = ("s", rtype), ("t", rtype), ("u", rtype)

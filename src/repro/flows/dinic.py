@@ -97,15 +97,23 @@ def build_layered_network(
     while frontier and not layered.reaches_sink:
         next_layer: set[Node] = set()
         for node in frontier:
+            incident = net.incident(node)
             if counter is not None:
                 counter.charge("node_visit")
-            for arc, forward in net.incident(node):
-                if counter is not None:
-                    counter.charge("arc_scan")
-                if arc.residual(forward) <= 0:
+                counter.charge("arc_scan", len(incident))
+            for arc, forward in incident:
+                # arc.residual(forward) <= 0, with the attribute reads
+                # inlined: this is the innermost loop of every solve.
+                if forward:
+                    if arc.capacity - arc.flow <= 0:
+                        continue
+                elif arc.flow - arc.lower <= 0:
                     continue
                 nxt = arc.head if forward else arc.tail
-                if nxt in layered.level and layered.level[nxt] <= len(layered.layers) - 1:
+                # Nodes in `level` all sit in an earlier layer (the
+                # current next layer is levelled only after this
+                # frontier pass), so membership alone rules them out.
+                if nxt in layered.level:
                     continue
                 next_layer.add(nxt)
                 layered.moves.setdefault(node, []).append((arc, forward))
@@ -140,7 +148,7 @@ def blocking_flow(
     if not layered.reaches_sink:
         return 0.0
     source, sink = layered.source, layered.sink
-    total = 0.0
+    total = 0  # stays int on integer-capacity networks
     # Mutable per-node move cursors; exhausted moves are popped.
     moves = {node: list(ms) for node, ms in layered.moves.items()}
     while True:
@@ -154,7 +162,8 @@ def blocking_flow(
             # Drop saturated moves from the tail of the list.
             while available:
                 arc, forward = available[-1]
-                if arc.residual(forward) <= 0:
+                residual = arc.capacity - arc.flow if forward else arc.flow - arc.lower
+                if residual <= 0:
                     available.pop()
                     if counter is not None:
                         counter.charge("arc_scan")

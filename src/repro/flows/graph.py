@@ -62,8 +62,8 @@ class Arc:
     head: Node
     capacity: float
     cost: float = 0.0
-    lower: float = 0.0
-    flow: float = 0.0
+    lower: float = 0
+    flow: float = 0
 
     @property
     def residual_forward(self) -> float:
@@ -106,6 +106,13 @@ class FlowNetwork:
         self.arcs: list[Arc] = []
         self._out: dict[Node, list[int]] = {}
         self._in: dict[Node, list[int]] = {}
+        # Per-node incidence lists ((arc, forward) pairs, out-arcs
+        # first), built once per node and invalidated by add_arc.  The
+        # solvers walk incident() in their innermost loops; handing
+        # them a ready-made list instead of re-zipping _out/_in per
+        # traversal is what makes repeated (warm-start) solves on a
+        # persistent network cheap.
+        self._inc: dict[Node, list[tuple[Arc, bool]]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -143,6 +150,8 @@ class FlowNetwork:
         self.arcs.append(arc)
         self._out[tail].append(arc.index)
         self._in[head].append(arc.index)
+        self._inc.pop(tail, None)
+        self._inc.pop(head, None)
         return arc
 
     # ------------------------------------------------------------------
@@ -174,16 +183,21 @@ class FlowNetwork:
         """Arcs entering ``node`` — the paper's ``alpha(v)``."""
         return (self.arcs[i] for i in self._in[node])
 
-    def incident(self, node: Node) -> Iterator[tuple[Arc, bool]]:
+    def incident(self, node: Node) -> list[tuple[Arc, bool]]:
         """All residual moves out of ``node``: ``(arc, forward)`` pairs.
 
         ``forward=True`` means leaving along an out-arc; ``False``
-        means walking an in-arc backwards (flow cancellation).
+        means walking an in-arc backwards (flow cancellation).  The
+        list (out-arcs first, then in-arcs, each in insertion order)
+        is precomputed per node and reused until the next ``add_arc``
+        touching ``node`` — callers must not mutate it.
         """
-        for i in self._out[node]:
-            yield self.arcs[i], True
-        for i in self._in[node]:
-            yield self.arcs[i], False
+        cached = self._inc.get(node)
+        if cached is None:
+            cached = [(self.arcs[i], True) for i in self._out[node]]
+            cached.extend((self.arcs[i], False) for i in self._in[node])
+            self._inc[node] = cached
+        return cached
 
     def degree(self, node: Node) -> int:
         """Total number of incident arcs."""
@@ -197,9 +211,15 @@ class FlowNetwork:
     # Flow bookkeeping
     # ------------------------------------------------------------------
     def zero_flow(self) -> None:
-        """Reset the flow assignment to all-zero."""
+        """Reset the flow assignment to all-zero.
+
+        The zero is an ``int`` so that networks with integer
+        capacities (every unit-capacity MRSIN transformation) keep
+        exact integer flows through augmentation — no float drift on
+        the hot scheduling path.
+        """
         for arc in self.arcs:
-            arc.flow = 0.0
+            arc.flow = 0
 
     def net_outflow(self, node: Node) -> float:
         """Flow leaving minus flow entering ``node``.
@@ -232,7 +252,9 @@ class FlowNetwork:
             new.flow = arc.flow
         return dup
 
-    def decompose_paths(self, source: Node, sink: Node) -> list[list[Arc]]:
+    def decompose_paths(
+        self, source: Node, sink: Node, *, above_lower: bool = False
+    ) -> list[list[Arc]]:
         """Decompose an integral flow into arc-disjoint ``s``–``t`` paths.
 
         This realises the paper's Theorem 2 in reverse: each unit of
@@ -242,13 +264,28 @@ class FlowNetwork:
         neither terminal) is ignored, matching the fact that such a
         cycle corresponds to no allocation.
 
+        With ``above_lower=True`` only the flow *above* each arc's
+        lower bound is decomposed.  The incremental engine freezes
+        committed circuits at ``lower == flow``, so the excess
+        ``flow - lower`` is exactly the flow found by the latest
+        warm-start solve, and its paths are the cycle's new
+        allocations.
+
         Returns a list of paths, each a list of arcs from ``source``
         to ``sink``.  The flow assignment itself is not modified.
         """
-        remaining = [int(round(arc.flow)) for arc in self.arcs]
-        for arc, rem in zip(self.arcs, remaining):
-            if abs(arc.flow - rem) > 1e-9:
-                raise ValueError(f"flow on {arc!r} is not integral")
+        # Sparse: only arcs actually carrying (excess) flow enter the
+        # walk structure — on the incremental engine's persistent
+        # network the delta is a handful of paths in a sea of frozen
+        # and idle arcs, so a dense per-arc table would dominate.
+        remaining: dict[int, int] = {}
+        for arc in self.arcs:
+            exc = arc.flow - arc.lower if above_lower else arc.flow
+            if exc:
+                rem = int(round(exc))
+                if abs(exc - rem) > 1e-9:
+                    raise ValueError(f"flow on {arc!r} is not integral")
+                remaining[arc.index] = rem
         paths: list[list[Arc]] = []
         while True:
             # Walk from the source along positive-flow arcs.  If the walk
@@ -262,7 +299,7 @@ class FlowNetwork:
             while node != sink:
                 nxt: Arc | None = None
                 for i in self._out[node]:
-                    if remaining[i] > 0:
+                    if remaining.get(i, 0) > 0:
                         nxt = self.arcs[i]
                         break
                 if nxt is None:

@@ -158,7 +158,9 @@ def min_cost_flow(
         if arc.flow != 0.0:
             raise ValueError("min_cost_flow requires a zero initial flow")
     if source not in net or sink not in net:
-        if target_flow:
+        # `is not None`, not truthiness: an explicit target_flow=0 is
+        # still a demand on terminals that must exist.
+        if target_flow is not None:
             raise InfeasibleFlowError("terminal missing from network")
         return MinCostResult(0.0, 0.0, 0)
     if any(arc.cost < 0 for arc in net.arcs):

@@ -110,6 +110,7 @@ def run_service(
     request_timeout: float | None = 16.0,
     transmission_time: float = 0.1,
     mean_service: float = 1.0,
+    warm_start: bool = True,
 ) -> ServiceRunResult:
     """Run the allocation service for ``horizon`` virtual time units.
 
@@ -129,6 +130,11 @@ def run_service(
         Model item 5's two phases: the circuit is held for
         ``transmission_time``, the resource for an additional
         exponential service time of mean ``mean_service``.
+    warm_start:
+        Forwarded to :class:`~repro.service.server.ServiceConfig`:
+        schedule ticks on the persistent warm-start flow engine
+        (default) or rebuild the flow network from scratch every tick
+        (the benchmark's cold comparator).
 
     Returns a :class:`ServiceRunResult`; identical arguments produce
     an identical result.
@@ -148,6 +154,7 @@ def run_service(
             request_timeout=request_timeout,
             transmission_time=transmission_time,
             mean_service=mean_service,
+            warm_start=warm_start,
         )
     )
 
@@ -182,7 +189,7 @@ def _build_mrsin(spec: WorkloadSpec, rng: np.random.Generator) -> MRSIN:
 
 async def _run(spec: WorkloadSpec, *, rate, horizon, seed, tick_interval, max_batch,
                queue_limit, degrade_watermark, request_timeout, transmission_time,
-               mean_service) -> ServiceRunResult:
+               mean_service, warm_start=True) -> ServiceRunResult:
     clock = VirtualClock()
     setup_rng, *client_rngs = spawn_rngs(seed, 1 + spec.builder(spec.n_ports).n_processors)
     mrsin = _build_mrsin(spec, setup_rng)
@@ -192,6 +199,7 @@ async def _run(spec: WorkloadSpec, *, rate, horizon, seed, tick_interval, max_ba
         queue_limit=queue_limit,
         degrade_watermark=degrade_watermark,
         default_timeout=request_timeout,
+        warm_start=warm_start,
     )
     service = AllocationService(mrsin, config=config, clock=clock)
     releasers: set[asyncio.Task] = set()

@@ -270,3 +270,61 @@ class TestRobustness:
         mapping = sched.schedule(m)
         assert len(mapping) == 2  # only two free resources
         assert sched.stats.blocking_fraction == pytest.approx(0.5)
+
+
+class TestValidationSurvivesOptimization:
+    """Regression: these guards were bare ``assert`` statements, which
+    ``python -O`` strips — a buggy solver could then hand physically
+    unrealisable circuits to ``apply_mapping``.  They are real raises
+    now, and this class runs in the CI ``-O`` tier to prove it."""
+
+    def test_nonintegral_max_flow_raises(self, monkeypatch):
+        import types
+
+        from repro.core import scheduler as scheduler_module
+        from repro.flows.validate import FlowViolation
+
+        def half_unit_solver(net, source, sink, counter=None):
+            net.arcs[0].flow = 0.5
+            return types.SimpleNamespace(value=0.5)
+
+        monkeypatch.setitem(
+            scheduler_module.MAXFLOW_ALGORITHMS, "dinic", half_unit_solver
+        )
+        m = MRSIN(omega(4))
+        m.submit(Request(0))
+        with pytest.raises(FlowViolation, match="integral"):
+            OptimalScheduler().schedule(m)
+
+    def test_nonintegral_min_cost_flow_raises(self, monkeypatch):
+        from repro.core import scheduler as scheduler_module
+        from repro.flows.validate import FlowViolation
+
+        real = scheduler_module.out_of_kilter
+
+        def corrupting_solver(net, source, sink, **kwargs):
+            result = real(net, source, sink, **kwargs)
+            net.arcs[0].flow += 0.5
+            return result
+
+        monkeypatch.setattr(scheduler_module, "out_of_kilter", corrupting_solver)
+        m = MRSIN(omega(4))
+        m.submit(Request(0, priority=3))
+        with pytest.raises(FlowViolation, match="integral"):
+            OptimalScheduler().schedule(m)
+
+    def test_missing_required_flow_raises(self, monkeypatch):
+        from repro.core import scheduler as scheduler_module
+
+        real = scheduler_module.transformation2
+
+        def drop_f0(mrsin, reqs):
+            problem = real(mrsin, reqs)
+            problem.required_flow = None
+            return problem
+
+        monkeypatch.setattr(scheduler_module, "transformation2", drop_f0)
+        m = MRSIN(omega(4))
+        m.submit(Request(0, priority=3))
+        with pytest.raises(ValueError, match="required flow"):
+            OptimalScheduler().schedule(m)

@@ -45,6 +45,25 @@ class TestSuccessiveShortestPaths:
         with pytest.raises(InfeasibleFlowError):
             min_cost_flow(net, "s", "t", target_flow=4)
 
+    def test_zero_target_with_terminals_is_trivially_met(self):
+        net = two_route_network()
+        res = min_cost_flow(net, "s", "t", target_flow=0)
+        assert (res.value, res.cost, res.augmentations) == (0.0, 0.0, 0)
+        assert all(arc.flow == 0 for arc in net.arcs)
+
+    def test_zero_target_without_terminals_is_infeasible(self):
+        # Regression: `if target_flow:` used to treat an explicit
+        # target_flow=0 like "no target" and silently return success
+        # even when the terminals do not exist in the network.
+        net = two_route_network()
+        with pytest.raises(InfeasibleFlowError, match="terminal missing"):
+            min_cost_flow(net, "s", "ghost", target_flow=0)
+
+    def test_no_target_without_terminals_returns_empty(self):
+        net = two_route_network()
+        res = min_cost_flow(net, "ghost", "t")
+        assert (res.value, res.cost) == (0.0, 0.0)
+
     def test_without_target_finds_min_cost_max_flow(self):
         net = two_route_network()
         res = min_cost_flow(net, "s", "t")

@@ -12,7 +12,7 @@ hard routing instances.
 import numpy as np
 import pytest
 
-from repro.core import MRSIN
+from repro.core import MRSIN, TransformedProblem
 from repro.core.transform import _add_structure_arcs  # type: ignore[attr-defined]
 from repro.flows.graph import FlowNetwork
 from repro.flows.lp import LPStatus
@@ -28,8 +28,8 @@ def permutation_problem(net_builder, permutation) -> MultiCommodityProblem:
     """One unit commodity per (p, sigma(p)) pair over the link graph."""
     mrsin = MRSIN(net_builder(len(permutation)))
     net = FlowNetwork()
-    arc_link: dict = {}
-    _add_structure_arcs(net, mrsin, arc_link)
+    problem = TransformedProblem(net=net, source="s", sink="t")
+    _add_structure_arcs(net, mrsin, problem)
     commodities = []
     for p, r in enumerate(permutation):
         src, dst = ("src", p), ("dst", r)

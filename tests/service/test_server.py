@@ -17,6 +17,7 @@ from repro.service.server import (
     AllocationTimeout,
     ServiceClosed,
     ServiceConfig,
+    ServiceFaulted,
 )
 from repro.sim.workload import WorkloadSpec, sample_instance
 
@@ -323,6 +324,179 @@ class TestAdmissionControl:
                 await service.acquire(Request(1))
 
         run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Cancelled acquires must never leak a lease (regression)
+# ----------------------------------------------------------------------
+class TestCancelledAcquire:
+    def test_cancel_before_tick_allocates_nothing(self):
+        """Regression: a cancelled acquire used to win the next tick
+        anyway, occupying a resource forever with no one to release it."""
+
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin)
+            (task,) = await enqueue(service, [Request(0)])
+            task.cancel()
+            # No drain: the eager done-callback has not run yet, so the
+            # entry is still queued when the tick fires.
+            leases = service.run_one_cycle()
+            await drain()
+            assert leases == []
+            assert service.active_leases == 0
+            assert not any(res.busy for res in mrsin.resources)
+            assert mrsin.network.occupancy() == 0.0
+            assert service.queue_depth == 0  # callback purged the entry
+
+        run(scenario())
+
+    def test_cancel_between_selection_and_allocation_is_unwound(self):
+        """A cancellation landing after batch selection: the circuit is
+        established by apply_mapping, then immediately torn down."""
+
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin)
+            task0, task1 = await enqueue(service, [Request(0), Request(1)])
+            original = service._select_batch
+
+            def select_then_cancel():
+                batch = original()
+                for entry in batch:
+                    if entry.request.processor == 0:
+                        entry.future.cancel()
+                return batch
+
+            service._select_batch = select_then_cancel
+            leases = service.run_one_cycle()
+            await drain()
+            assert len(leases) == 1
+            assert leases[0].request.processor == 1
+            assert service.active_leases == 1
+            busy = [res.index for res in mrsin.resources if res.busy]
+            assert busy == [leases[0].resource]  # the winner's only
+            assert task0.cancelled()
+            assert (await task1) is leases[0]
+            # The unwound resource is immediately allocatable again.
+            service._select_batch = original
+            (task2,) = await enqueue(service, [Request(0)])
+            (lease2,) = service.run_one_cycle()
+            await drain()
+            assert (await task2) is lease2
+
+        run(scenario())
+
+    def test_cancelled_entry_leaves_queue_eagerly(self):
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            for res in mrsin.resources:
+                res.busy = True  # nothing drains the queue
+            service = make_service(mrsin)
+            tasks = await enqueue(service, [Request(0), Request(1)])
+            assert service.queue_depth == 2
+            tasks[0].cancel()
+            await drain()
+            assert service.queue_depth == 1
+            await finish(tasks)
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# A dying tick loop must fault loudly (regression)
+# ----------------------------------------------------------------------
+class TestTickLoopFault:
+    def test_fault_fails_queued_acquires(self):
+        """Regression: an exception in run_one_cycle used to kill the
+        background task silently, stranding every queued acquire."""
+
+        async def scenario():
+            clock = VirtualClock()
+            mrsin = MRSIN(omega(4))
+            service = AllocationService(
+                mrsin, config=ServiceConfig(tick_interval=1.0), clock=clock
+            )
+            boom = RuntimeError("solver exploded")
+
+            def failing_cycle():
+                raise boom
+
+            service.run_one_cycle = failing_cycle
+            async with service:
+                task = asyncio.ensure_future(service.acquire(Request(0)))
+                await drain()
+                await clock.run_until(1.0)
+                await drain()
+                with pytest.raises(ServiceFaulted) as excinfo:
+                    await task
+                assert excinfo.value.__cause__ is boom
+                assert service.fault is boom
+                assert service.queue_depth == 0
+                with pytest.raises(ServiceClosed):
+                    await service.acquire(Request(1))
+
+        run(scenario())
+
+    def test_unfaulted_service_has_no_fault(self):
+        async def scenario():
+            service = make_service(MRSIN(omega(4)))
+            tasks = await enqueue(service, [Request(0)])
+            service.run_one_cycle()
+            await finish(tasks)
+            assert service.fault is None
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Warm start: the engine rides along without changing behaviour
+# ----------------------------------------------------------------------
+class TestWarmStart:
+    def test_snapshot_reports_engine_stats(self):
+        async def scenario():
+            service = make_service(MRSIN(omega(4)))
+            tasks = await enqueue(service, [Request(p) for p in range(4)])
+            service.run_one_cycle()
+            await finish(tasks)
+            return service.snapshot()
+
+        snap = run(scenario())
+        assert snap["engine_builds"] == 1
+        assert snap["engine_warm_ticks"] == 1
+
+    def test_cold_config_has_no_engine_stats(self):
+        async def scenario():
+            service = make_service(MRSIN(omega(4)), warm_start=False)
+            tasks = await enqueue(service, [Request(0)])
+            leases = service.run_one_cycle()
+            await finish(tasks)
+            return len(leases), service.snapshot()
+
+        n, snap = run(scenario())
+        assert n == 1
+        assert "engine_builds" not in snap
+
+    def test_lifecycle_stays_warm_across_release_and_reacquire(self):
+        async def scenario():
+            mrsin = MRSIN(omega(8))
+            service = make_service(mrsin)
+            tasks = await enqueue(service, [Request(p) for p in range(8)])
+            leases = service.run_one_cycle()
+            await finish(tasks)
+            for lease in leases[:4]:
+                service.end_transmission(lease)
+            for lease in leases[4:]:
+                service.release(lease)
+            tasks = await enqueue(service, [Request(p) for p in range(8)])
+            more = service.run_one_cycle()
+            await finish(tasks)
+            return len(leases), len(more), service.snapshot()
+
+        first, second, snap = run(scenario())
+        assert first == 8
+        assert second == 4  # only the released half is free again
+        assert snap["engine_builds"] == 1  # no cold rebuild along the way
 
 
 # ----------------------------------------------------------------------
