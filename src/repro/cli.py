@@ -9,6 +9,7 @@ Examples
     python -m repro sweep --network omega --policies optimal greedy random_binding
     python -m repro queueing --network omega --rate 0.8 --policy optimal
     python -m repro serve --network omega --rate 0.8 --horizon 200 --seed 7
+    python -m repro chaos --network omega --ports 32 --ticks 2000 --seed 7
     python -m repro tokens --seed 31
 
 Every command is a thin wrapper over the library API and prints the
@@ -181,6 +182,7 @@ def cmd_queueing(args) -> int:
 def cmd_serve(args) -> int:
     """Finite-horizon run of the online allocation service."""
     from repro.service.driver import run_service
+    from repro.service.server import ServiceFaulted
 
     spec = WorkloadSpec(
         builder=_topology_builder(args.network, args.ports),
@@ -204,7 +206,35 @@ def cmd_serve(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
+    except ServiceFaulted as exc:
+        # One line, nonzero exit: the run's snapshot is from a broken
+        # service and must not be mistaken for a result.
+        raise SystemExit(f"error: service faulted mid-run: {exc.__cause__!r}") from exc
     print(result.render())
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Fault/repair churn against the service, with hard invariants."""
+    from repro.faults.chaos import BUILDERS, ChaosInvariantError, run_chaos
+
+    try:
+        report = run_chaos(
+            topology=args.network,
+            ports=args.ports,
+            ticks=args.ticks,
+            seed=args.seed,
+            rate=args.rate,
+            fault_rate=args.fault_rate,
+            transient_fraction=args.transient,
+            mean_repair=args.mean_repair,
+            check_every=args.check_every,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    except ChaosInvariantError as exc:
+        raise SystemExit(f"error: chaos invariant violated: {exc}") from exc
+    print(report.render())
     return 0
 
 
@@ -324,6 +354,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--priority-levels", type=int, default=1,
                    help="draw request priorities from 1..K (K>1 uses min-cost)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("chaos", help="fault/repair churn with invariant checks")
+    p.add_argument("--network", choices=["omega", "benes", "clos"], default="omega")
+    p.add_argument("--ports", type=int, default=32, help="network size N")
+    p.add_argument("--ticks", type=int, default=2000, help="scheduling cycles to churn")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rate", type=float, default=0.4,
+                   help="request arrivals per processor per tick")
+    p.add_argument("--fault-rate", type=float, default=0.08,
+                   help="component faults per time unit")
+    p.add_argument("--transient", type=float, default=0.85,
+                   help="fraction of faults that self-repair")
+    p.add_argument("--mean-repair", type=float, default=6.0,
+                   help="mean time-to-repair for transient faults")
+    p.add_argument("--check-every", type=int, default=1,
+                   help="cold-vs-warm differential every K ticks")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("tokens", help="trace the distributed token architecture")
     _add_workload_args(p)

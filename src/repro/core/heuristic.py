@@ -13,7 +13,11 @@ Two policies:
 - :func:`greedy_schedule` — requests processed in order; each tries
   the free resources of its type (nearest-address or random order)
   until one routes.  Previously placed circuits are honoured but never
-  moved.
+  moved.  Failed components are avoided the same way occupied ones
+  are: failed resources are not ``available`` and the destination-tag
+  router never takes a failed link or enters a failed switchbox, so
+  the degraded tick path of the allocation service stays safe under
+  faults too.
 - :func:`arbitrary_schedule` — the paper's "arbitrary resource-request
   mapping": the i-th request is bound to the i-th free resource, no
   alternatives tried.  Used in the extra-stage experiment.

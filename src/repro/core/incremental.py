@@ -26,10 +26,14 @@ network per service** and evolves it with the system:
 Fallback-to-cold rules: the engine never trusts itself blindly.  Each
 cycle it cross-checks every persistent arc against the physical
 occupancy it mirrors (an O(E) scan of plain attribute reads — far
-cheaper than a rebuild); any divergence (state mutated behind the
-engine's back, a circuit it never saw released, a failed apply) marks
-the engine dirty and the next cycle rebuilds from the live MRSIN.  A
-rebuild re-registers in-flight circuits from
+cheaper than a rebuild); any *flow* divergence (state mutated behind
+the engine's back, a circuit it never saw released, a failed apply)
+marks the engine dirty and the next cycle rebuilds from the live
+MRSIN.  Pure *capacity* deltas — a link or switchbox failing or being
+repaired, a resource failing or coming back — are absorbed in place by
+the same scan (the arc's capacity is simply rewritten to mirror the
+physical state), so fault churn never forces a cold rebuild on its
+own.  A rebuild re-registers in-flight circuits from
 :meth:`~repro.core.model.MRSIN.transmitting_circuits`, so even a
 rebuilt network stays warm.
 
@@ -92,7 +96,8 @@ class IncrementalFlowEngine:
         self._problem: TransformedProblem | None = None
         self._source_arc: dict[int, Arc] = {}
         self._sink_arc: dict[int, Arc] = {}
-        self._link_pairs: list[tuple[Link, Arc]] = []
+        # (link, arc, adjacent switchboxes) triples for the sync scan.
+        self._link_pairs: list[tuple[Link, Arc, tuple]] = []
         self._res_pairs: list = []
         # resource index -> the frozen arc path (source arc, link arcs,
         # sink arc) of its in-flight circuit.
@@ -220,7 +225,12 @@ class IncrementalFlowEngine:
         self._sink_arc[resource].capacity = 0
 
     def note_release(self, resource: int) -> None:
-        """``resource`` finished service: free it (and its circuit)."""
+        """``resource`` finished service (or was revoked): free it.
+
+        Retracts the circuit's flow if one was still held.  A failed
+        resource stays closed (capacity 0) until the sync scan sees it
+        repaired.
+        """
         if self._net is None:
             return
         arcs = self._circuit_arcs.pop(resource, None)
@@ -232,7 +242,7 @@ class IncrementalFlowEngine:
         if sink.flow:
             self._dirty = True  # an unregistered circuit is still parked here
             return
-        sink.capacity = 1
+        sink.capacity = 0 if self.mrsin.resources[resource].failed else 1
 
     def invalidate(self) -> None:
         """Force a cold rebuild on the next scheduling cycle."""
@@ -254,18 +264,26 @@ class IncrementalFlowEngine:
         resource_in = _add_structure_arcs(net, self.mrsin, problem, include_occupied=True)
         self._sink_arc = {
             res.index: net.add_arc(
-                ("r", res.index), "t", capacity=0 if res.busy else 1
+                ("r", res.index), "t", capacity=0 if (res.busy or res.failed) else 1
             )
             for res in self.mrsin.resources
             if res.index in resource_in
         }
         self._net = net
         self._problem = problem
-        # (physical object, mirroring arc) pairs for the per-tick sync
-        # scan — precomputed so _in_sync is pure attribute reads.
+        # (physical object, mirroring arc[, adjacent boxes]) tuples for
+        # the per-tick sync scan — precomputed so _in_sync is pure
+        # attribute reads (box fault flags included).
+        network = self.mrsin.network
+        def boxes_of(link: Link) -> tuple:
+            adjacent = []
+            for end in (link.src, link.dst):
+                if end.kind in ("box_in", "box_out"):
+                    adjacent.append(network.box(end.stage, end.box))
+            return tuple(adjacent)
         self._link_pairs = [
-            (link, net.arcs[problem.arc_of_link[link.index]])
-            for link in self.mrsin.network.links
+            (link, net.arcs[problem.arc_of_link[link.index]], boxes_of(link))
+            for link in network.links
         ]
         self._res_pairs = [
             (res, self._sink_arc[res.index])
@@ -328,26 +346,41 @@ class IncrementalFlowEngine:
         self._pending_mapping = None
 
     def _in_sync(self) -> bool:
-        """Does every persistent arc agree with the physical state?
+        """Reconcile every persistent arc with the physical state.
 
         An O(|links| + |resources|) attribute scan — the cheap guard
         that lets the engine fall back to a cold rebuild whenever the
-        MRSIN was mutated behind its back.
+        MRSIN's *flow* state was mutated behind its back (a circuit
+        appearing or vanishing the engine never saw).  Pure capacity
+        deltas — fault and repair events on links, switchboxes, and
+        resources, or an untracked circuit released while the engine
+        was cold — are absorbed in place: the arc's capacity is
+        rewritten to mirror the component (0 while failed, 1 while
+        free and healthy), so fault churn alone never costs a rebuild.
         """
         if self._net is None or self._problem is None:
             return False
-        for link, arc in self._link_pairs:
+        for link, arc, boxes in self._link_pairs:
             if link.occupied:
                 if arc.capacity - arc.flow > 0 or arc.flow != arc.lower:
                     return False
-            elif arc.capacity != 1 or arc.flow != 0:
+            elif arc.flow != 0:
                 return False
+            else:
+                usable = not link.failed
+                for box in boxes:
+                    if box.failed:
+                        usable = False
+                        break
+                arc.capacity = 1 if usable else 0
         for res, arc in self._res_pairs:
             if res.busy:
                 if arc.capacity - arc.flow > 0 or arc.flow != arc.lower:
                     return False
-            elif arc.capacity != 1 or arc.flow != 0:
+            elif arc.flow != 0:
                 return False
+            else:
+                arc.capacity = 0 if res.failed else 1
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

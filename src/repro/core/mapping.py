@@ -97,6 +97,8 @@ class Mapping:
             actual = mrsin.resources[a.resource.index]
             if actual.busy:
                 raise ValueError(f"resource {a.resource.index} is busy")
+            if actual.failed:
+                raise ValueError(f"resource {a.resource.index} has failed")
             if actual.resource_type != a.request.resource_type:
                 raise ValueError(
                     f"type mismatch: request wants {a.request.resource_type!r}, "
@@ -105,6 +107,8 @@ class Mapping:
             for link in a.path:
                 if link.occupied:
                     raise ValueError(f"path uses occupied link {link.index}")
+                if not mrsin.network.link_usable(link):
+                    raise ValueError(f"path uses failed link {link.index}")
                 if link.index in used_links:
                     raise ValueError(f"two paths share link {link.index}")
                 used_links.add(link.index)

@@ -149,13 +149,16 @@ class MRSIN:
         """At most one pending request per processor, in queue order.
 
         Also excludes processors whose input link is still occupied by
-        an in-flight transmission.
+        an in-flight transmission or is unusable (failed, or entering a
+        failed switchbox) — a request from a disconnected processor
+        stays queued until the fault is repaired.
         """
         chosen: dict[int, Request] = {}
         for req in self.pending:
             if req.processor in chosen:
                 continue
-            if self.network.processor_link(req.processor).occupied:
+            link = self.network.processor_link(req.processor)
+            if link.occupied or not self.network.link_usable(link):
                 continue
             chosen[req.processor] = req
         return list(chosen.values())
@@ -205,12 +208,115 @@ class MRSIN:
         res.busy = False
 
     def reset(self) -> None:
-        """Drop all requests, circuits, and busy states."""
+        """Drop all requests, circuits, busy states, and faults."""
         self.pending.clear()
         self._transmitting.clear()
         self.network.release_all()
+        self.network.clear_faults()
         for res in self.resources:
             res.busy = False
+            res.failed = False
+
+    # ------------------------------------------------------------------
+    # Fault lifecycle
+    # ------------------------------------------------------------------
+    # Failing a component never tears anything down by itself: a
+    # circuit crossing a failed link/box (or feeding a failed resource)
+    # becomes *severed* and shows up in :meth:`severed_resources`; the
+    # owner (the allocation service) decides when to :meth:`revoke` it.
+    # All fail/repair methods are idempotent and return whether the
+    # component's state actually changed.
+
+    def fail_link(self, index: int) -> bool:
+        """Mark link ``index`` failed (excluded from all scheduling)."""
+        link = self.network.links[index]
+        if link.failed:
+            return False
+        link.failed = True
+        return True
+
+    def repair_link(self, index: int) -> bool:
+        """Mark link ``index`` healthy again."""
+        link = self.network.links[index]
+        if not link.failed:
+            return False
+        link.failed = False
+        return True
+
+    def fail_switchbox(self, stage: int, box: int) -> bool:
+        """Mark switchbox ``(stage, box)`` failed (routes nothing)."""
+        sb = self.network.box(stage, box)
+        if sb.failed:
+            return False
+        sb.failed = True
+        return True
+
+    def repair_switchbox(self, stage: int, box: int) -> bool:
+        """Mark switchbox ``(stage, box)`` healthy again."""
+        sb = self.network.box(stage, box)
+        if not sb.failed:
+            return False
+        sb.failed = False
+        return True
+
+    def fail_resource(self, index: int) -> bool:
+        """Mark resource ``index`` failed; any task it served is lost."""
+        res = self.resources[index]
+        if res.failed:
+            return False
+        res.failed = True
+        return True
+
+    def repair_resource(self, index: int) -> bool:
+        """Mark resource ``index`` healthy (and idle) again."""
+        res = self.resources[index]
+        if not res.failed:
+            return False
+        res.failed = False
+        return True
+
+    def failed_components(self) -> dict[str, list]:
+        """Snapshot of everything currently failed."""
+        return {
+            "links": self.network.failed_links(),
+            "switchboxes": self.network.failed_switchboxes(),
+            "resources": [res.index for res in self.resources if res.failed],
+        }
+
+    def severed_resources(self) -> list[int]:
+        """Busy resources whose allocation a fault has broken.
+
+        A resource is *severed* when it failed while serving a task, or
+        when its in-flight transmission circuit crosses a failed link
+        or switchbox.  Severed allocations must be reclaimed with
+        :meth:`revoke` before their links/resources can be reused.
+        """
+        severed: set[int] = set()
+        for idx, circuit in self._transmitting.items():
+            if self.resources[idx].failed or self.network.circuit_severed(circuit):
+                severed.add(idx)
+        for res in self.resources:
+            if res.failed and res.busy:
+                severed.add(res.index)
+        return sorted(severed)
+
+    def revoke(self, resource_index: int) -> Circuit | None:
+        """Forcibly reclaim a (severed) allocation.
+
+        Tears down the transmitting circuit if one is still held — the
+        surviving links are freed; failed ones stay failed — and marks
+        the resource idle (it remains unavailable while failed).
+        Returns the circuit torn down, or ``None`` if transmission had
+        already completed.
+        """
+        res = self.resources[resource_index]
+        if not res.busy:
+            raise ValueError(f"resource {resource_index} is not busy")
+        circuit = self._transmitting.pop(resource_index, None)
+        if circuit is not None:
+            self.network.release_circuit(circuit)
+        res.busy = False
+        return circuit
 
     # ------------------------------------------------------------------
     def utilization(self) -> float:

@@ -65,12 +65,18 @@ class Resource:
         Whether the resource is currently executing a task.  A busy
         resource is excluded from scheduling (capacity 0 in the
         transformations).
+    failed:
+        Whether the resource has (physically) failed.  A failed
+        resource is excluded from scheduling until repaired; a task it
+        was serving when it failed is lost (the service revokes the
+        holder's lease).
     """
 
     index: int
     resource_type: Hashable = DEFAULT_TYPE
     preference: int = 1
     busy: bool = False
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.index < 0:
@@ -80,5 +86,5 @@ class Resource:
 
     @property
     def available(self) -> bool:
-        """Free and ready to accept a task."""
-        return not self.busy
+        """Free, healthy, and ready to accept a task."""
+        return not self.busy and not self.failed

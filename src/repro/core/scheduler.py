@@ -13,6 +13,14 @@ Heterogeneous, general          Integer multicommodity         Branch & bound (N
 in play?) and runs the matching transformation + solver, returning a
 :class:`~repro.core.mapping.Mapping` ready for
 :meth:`~repro.core.model.MRSIN.apply_mapping`.
+
+Fault tolerance falls out of the reduction for free: failed links,
+switchboxes, and resources enter every transformation at capacity 0
+(see :func:`repro.core.transform._add_structure_arcs`), so each solve
+is exactly the same flow problem on the *surviving* subnetwork and the
+mapping extracted is optimal for the degraded system — the paper's
+untagged-request premise ("any free resource of a type will do") is
+what makes rerouting around faults automatic.
 """
 
 from __future__ import annotations

@@ -136,17 +136,22 @@ def _add_structure_arcs(
     by step T4; we simply never add them — except for the persistent
     (incremental-engine) network, which passes ``include_occupied=True``
     to materialise them as capacity-0 arcs so the structure never has
-    to be rebuilt when occupancy changes.  Both the forward
+    to be rebuilt when occupancy changes.  Failed links (and links
+    touching a failed switchbox) are handled the same way: capacity 0,
+    so a solve on a faulted MRSIN is simply max flow on the surviving
+    subgraph and Theorem 2 keeps holding for it.  Both the forward
     (``arc_link``) and inverse (``arc_of_link``) indices are filled.
     Returns resource index → the arc entering its ``("r", j)`` node
     (used to wire ``T`` arcs).
     """
     resource_in_arc: dict[int, Arc] = {}
-    for link in mrsin.network.links:
-        if link.occupied and not include_occupied:
+    network = mrsin.network
+    for link in network.links:
+        down = link.occupied or not network.link_usable(link)
+        if down and not include_occupied:
             continue
         tail, head = link_nodes(link)
-        arc = net.add_arc(tail, head, capacity=0 if link.occupied else 1)
+        arc = net.add_arc(tail, head, capacity=0 if down else 1)
         problem.arc_link[arc.index] = link
         problem.arc_of_link[link.index] = arc.index
         if link.dst.kind == "res":

@@ -1,0 +1,182 @@
+"""Seeded deterministic fault/repair event source.
+
+A :class:`FaultInjector` turns a numpy generator into a Poisson stream
+of :class:`FaultEvent`\\ s against one MRSIN: each fault picks a
+component class (link, switchbox, resource) and a concrete target
+uniformly; *transient* faults carry an exponentially distributed
+repair that is scheduled onto the same timeline, *permanent* ones
+never heal.  Events are produced strictly in time order (ties broken
+by generation order), so the same seed yields the identical fault
+history — the property the chaos harness's differential checks and
+the CI job rely on.
+
+The injector never touches the MRSIN itself; :func:`apply_event` (or
+:meth:`~repro.service.server.AllocationService.apply_fault_event`,
+which also counts metrics) performs the mutation.  This keeps the
+schedule replayable: generate once, apply anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import MRSIN
+from repro.util.rng import make_rng
+
+__all__ = ["FaultEvent", "FaultInjector", "apply_event"]
+
+KINDS = ("link", "switchbox", "resource")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One state change: a component fails, or a failed one is repaired.
+
+    ``target`` is a link index, a ``(stage, box)`` pair, or a resource
+    index depending on ``kind``.  ``transient`` records whether the
+    fault came with a scheduled repair (repairs themselves have it
+    ``False``).
+    """
+
+    time: float
+    kind: str
+    target: int | tuple[int, int]
+    repair: bool = False
+    transient: bool = False
+
+
+def apply_event(mrsin: MRSIN, event: FaultEvent) -> bool:
+    """Apply ``event`` to ``mrsin``; returns whether anything changed.
+
+    Re-failing a failed component or repairing a healthy one is a
+    no-op returning ``False`` (two transient faults on the same target
+    can overlap; the second repair finds nothing to fix).
+    """
+    if event.kind == "link":
+        method = mrsin.repair_link if event.repair else mrsin.fail_link
+        return method(event.target)
+    if event.kind == "switchbox":
+        stage, box = event.target
+        if event.repair:
+            return mrsin.repair_switchbox(stage, box)
+        return mrsin.fail_switchbox(stage, box)
+    if event.kind == "resource":
+        method = mrsin.repair_resource if event.repair else mrsin.fail_resource
+        return method(event.target)
+    raise ValueError(f"unknown fault kind {event.kind!r}")
+
+
+class FaultInjector:
+    """Deterministic Poisson fault schedule over one MRSIN's components.
+
+    Parameters
+    ----------
+    mrsin:
+        Supplies the target space (links, switchboxes, resources).
+    rng:
+        Seed or prepared generator (:func:`repro.util.rng.make_rng`
+        discipline); the whole schedule is a pure function of it.
+    fault_rate:
+        Expected faults per time unit (Poisson arrivals).
+    transient_fraction:
+        Probability a fault is transient, i.e. schedules its own
+        repair ``Exp(mean_repair)`` later.  The remainder are
+        permanent.
+    mean_repair:
+        Mean time-to-repair for transient faults.
+    kinds:
+        Component classes to draw from (default: all three).
+    """
+
+    def __init__(
+        self,
+        mrsin: MRSIN,
+        *,
+        rng: int | np.random.Generator | None = None,
+        fault_rate: float = 0.05,
+        transient_fraction: float = 0.8,
+        mean_repair: float = 5.0,
+        kinds: tuple[str, ...] = KINDS,
+    ) -> None:
+        if fault_rate <= 0:
+            raise ValueError(f"fault_rate must be positive, got {fault_rate}")
+        if not 0.0 <= transient_fraction <= 1.0:
+            raise ValueError(f"transient_fraction must be in [0, 1], got {transient_fraction}")
+        if mean_repair <= 0:
+            raise ValueError(f"mean_repair must be positive, got {mean_repair}")
+        unknown = set(kinds) - set(KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        self.mrsin = mrsin
+        self.rng = make_rng(rng)
+        self.fault_rate = fault_rate
+        self.transient_fraction = transient_fraction
+        self.mean_repair = mean_repair
+        self.kinds = tuple(kinds)
+        self._boxes = [
+            (s, b)
+            for s, stage in enumerate(mrsin.network.stages)
+            for b in range(len(stage))
+        ]
+        self._pending: list[tuple[float, int, FaultEvent]] = []
+        self._tie = 0
+        self._next_fault = float(self.rng.exponential(1.0 / fault_rate))
+        self.generated = 0
+
+    # ------------------------------------------------------------------
+    def _push(self, event: FaultEvent) -> None:
+        heapq.heappush(self._pending, (event.time, self._tie, event))
+        self._tie += 1
+
+    def _draw_target(self, kind: str) -> int | tuple[int, int]:
+        if kind == "link":
+            return int(self.rng.integers(0, len(self.mrsin.network.links)))
+        if kind == "switchbox":
+            return self._boxes[int(self.rng.integers(0, len(self._boxes)))]
+        return int(self.rng.integers(0, len(self.mrsin.resources)))
+
+    def _draw_fault(self, time: float) -> None:
+        kind = self.kinds[int(self.rng.integers(0, len(self.kinds)))]
+        target = self._draw_target(kind)
+        transient = bool(self.rng.random() < self.transient_fraction)
+        self._push(FaultEvent(time=time, kind=kind, target=target, transient=transient))
+        self.generated += 1
+        if transient:
+            repair_at = time + float(self.rng.exponential(self.mean_repair))
+            self._push(FaultEvent(time=repair_at, kind=kind, target=target, repair=True))
+
+    # ------------------------------------------------------------------
+    def events_until(self, now: float) -> list[FaultEvent]:
+        """All events due at or before ``now``, in time order.
+
+        Advances the internal Poisson process, so calls must be made
+        with non-decreasing ``now`` (the service clock guarantees it).
+        """
+        while self._next_fault <= now:
+            self._draw_fault(self._next_fault)
+            self._next_fault += float(self.rng.exponential(1.0 / self.fault_rate))
+        due: list[FaultEvent] = []
+        while self._pending and self._pending[0][0] <= now:
+            due.append(heapq.heappop(self._pending)[2])
+        return due
+
+    def inject(self, service, now: float) -> list[FaultEvent]:
+        """Apply every due event through ``service`` (counting metrics).
+
+        Convenience for driving a live
+        :class:`~repro.service.server.AllocationService`; returns the
+        events applied (including no-op ones).
+        """
+        events = self.events_until(now)
+        for event in events:
+            service.apply_fault_event(event)
+        return events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(rate={self.fault_rate:g}, generated={self.generated}, "
+            f"pending={len(self._pending)})"
+        )

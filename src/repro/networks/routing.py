@@ -73,18 +73,18 @@ def reachable_resources(net: MultistageNetwork, p: int) -> frozenset[int]:
 
 
 def _free_options(net: MultistageNetwork, link: Link) -> Iterator[Link]:
-    """Free onward links after ``link``, respecting switch state."""
+    """Free onward links after ``link``, respecting switch and fault state."""
     dst = link.dst
     if dst.kind != "box_in":
         return
     box = net.box(dst.stage, dst.box)
-    if not box.input_free(dst.port):
+    if box.failed or not box.input_free(dst.port):
         return
     for port in range(box.n_out):
         if not box.output_free(port):
             continue
         nxt = net.link_from(PortRef.box_out(dst.stage, dst.box, port))
-        if nxt is not None and not nxt.occupied:
+        if nxt is not None and not nxt.occupied and not nxt.failed:
             yield nxt
 
 
@@ -93,13 +93,15 @@ def destination_tag_path(net: MultistageNetwork, p: int, r: int) -> list[Link] |
 
     At each box, follow a free output port whose reachable set
     contains ``r`` (backtracking over the alternatives on multi-path
-    networks).  Returns the link path, or ``None`` when the request is
-    blocked — no rerouting of *other* circuits is attempted, which is
-    precisely the deficiency the optimal scheduler fixes.
+    networks).  Failed links and switchboxes are treated like occupied
+    ones: never taken.  Returns the link path, or ``None`` when the
+    request is blocked — no rerouting of *other* circuits is
+    attempted, which is precisely the deficiency the optimal scheduler
+    fixes.
     """
     table = _reach_table(net)
     start = net.processor_link(p)
-    if start.occupied or r not in table[start.index]:
+    if start.occupied or start.failed or r not in table[start.index]:
         return None
     stack: list[list[Link]] = [[start]]
     target = PortRef.resource(r)

@@ -33,6 +33,10 @@ class Switchbox:
         self.index = index
         self.n_in = n_in
         self.n_out = n_out
+        # A failed box routes nothing until repaired; its existing
+        # connections are kept so severed circuits can still be torn
+        # down cleanly (disconnect works on a failed box).
+        self.failed = False
         self._in_to_out: dict[int, int] = {}
         self._out_to_in: dict[int, int] = {}
 

@@ -66,12 +66,16 @@ class Link:
 
     ``occupied`` marks a link held by an established circuit; the
     scheduling transformations give occupied links zero capacity.
+    ``failed`` marks a physically broken wire: it can carry no new
+    circuit until repaired, and a circuit holding it when it fails is
+    *severed* (the service revokes the lease).
     """
 
     index: int
     src: PortRef
     dst: PortRef
     occupied: bool = False
+    failed: bool = False
 
 
 @dataclass
@@ -180,6 +184,45 @@ class MultistageNetwork:
         return inn
 
     # ------------------------------------------------------------------
+    # Fault state
+    # ------------------------------------------------------------------
+    def link_usable(self, link: Link) -> bool:
+        """Whether ``link`` can carry a (new) circuit at all.
+
+        A link is unusable when it has failed itself or when either
+        switchbox it touches has failed.  Occupancy is a separate,
+        orthogonal dimension: an occupied link is *in use*, an unusable
+        one is *broken*.
+        """
+        if link.failed:
+            return False
+        src, dst = link.src, link.dst
+        if src.kind == "box_out" and self.stages[src.stage][src.box].failed:
+            return False
+        if dst.kind == "box_in" and self.stages[dst.stage][dst.box].failed:
+            return False
+        return True
+
+    def circuit_severed(self, circuit: Circuit) -> bool:
+        """Whether an established circuit crosses a failed link or box."""
+        return any(not self.link_usable(link) for link in circuit.links)
+
+    def failed_links(self) -> list[int]:
+        """Indices of links currently marked failed."""
+        return [link.index for link in self.links if link.failed]
+
+    def failed_switchboxes(self) -> list[tuple[int, int]]:
+        """``(stage, index)`` of switchboxes currently marked failed."""
+        return [(box.stage, box.index) for box in self.boxes() if box.failed]
+
+    def clear_faults(self) -> None:
+        """Repair every failed link and switchbox."""
+        for link in self.links:
+            link.failed = False
+        for box in self.boxes():
+            box.failed = False
+
+    # ------------------------------------------------------------------
     # Circuit switching
     # ------------------------------------------------------------------
     def _validate_path(self, links: Sequence[Link]) -> tuple[int, int]:
@@ -215,10 +258,14 @@ class MultistageNetwork:
         for link in links:
             if link.occupied:
                 raise ValueError(f"link {link.index} already occupied")
+            if link.failed:
+                raise ValueError(f"link {link.index} has failed")
         # Check all switch ports before mutating anything.
         hops = list(zip(links, links[1:]))
         for a, b in hops:
             box = self.box(a.dst.stage, a.dst.box)
+            if box.failed:
+                raise ValueError(f"{box} has failed")
             if not box.input_free(a.dst.port):
                 raise ValueError(f"{box} input {a.dst.port} busy")
             if not box.output_free(b.src.port):
@@ -253,30 +300,31 @@ class MultistageNetwork:
     # Path search over free capacity
     # ------------------------------------------------------------------
     def _free_successors(self, link: Link) -> Iterator[Link]:
-        """Free links that may legally follow ``link`` on a circuit."""
+        """Free, unfailed links that may legally follow ``link``."""
         dst = link.dst
         if dst.kind != "box_in":
             return
         box = self.box(dst.stage, dst.box)
-        if not box.input_free(dst.port):
+        if box.failed or not box.input_free(dst.port):
             return
         for port in range(box.n_out):
             if not box.output_free(port):
                 continue
             nxt = self._from_src.get(PortRef.box_out(dst.stage, dst.box, port))
-            if nxt is not None and not nxt.occupied:
+            if nxt is not None and not nxt.occupied and not nxt.failed:
                 yield nxt
 
     def find_free_path(self, p: int, r: int) -> list[Link] | None:
         """A free circuit path from processor ``p`` to resource ``r``.
 
-        Depth-first search over free links and free switch ports;
-        returns ``None`` when ``r`` is unreachable (blocked).  This is
-        the *single-request* primitive; the optimal scheduler instead
-        reasons over all requests jointly via the flow transformations.
+        Depth-first search over free links and free switch ports,
+        skipping failed links and boxes; returns ``None`` when ``r`` is
+        unreachable (blocked).  This is the *single-request* primitive;
+        the optimal scheduler instead reasons over all requests jointly
+        via the flow transformations.
         """
         start = self.processor_link(p)
-        if start.occupied:
+        if start.occupied or start.failed:
             return None
         target = PortRef.resource(r)
         stack: list[list[Link]] = [[start]]
@@ -304,7 +352,7 @@ class MultistageNetwork:
         small-instance analysis only.
         """
         start = self.processor_link(p)
-        if start.occupied:
+        if start.occupied or start.failed:
             return
         target = PortRef.resource(r)
 

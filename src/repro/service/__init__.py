@@ -18,7 +18,7 @@ regime the ROADMAP's production north-star calls for.
 """
 
 from repro.service.clock import Clock, MonotonicClock, VirtualClock
-from repro.service.driver import ServiceRunResult, run_service
+from repro.service.driver import ServiceRunResult, acquire_with_retry, run_service
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import (
     AllocationError,
@@ -26,8 +26,10 @@ from repro.service.server import (
     AllocationService,
     AllocationTimeout,
     Lease,
+    LeaseRevoked,
     ServiceClosed,
     ServiceConfig,
+    ServiceFaulted,
 )
 
 __all__ = [
@@ -37,11 +39,14 @@ __all__ = [
     "AllocationTimeout",
     "Clock",
     "Lease",
+    "LeaseRevoked",
     "MonotonicClock",
     "ServiceClosed",
     "ServiceConfig",
+    "ServiceFaulted",
     "ServiceMetrics",
     "ServiceRunResult",
     "VirtualClock",
+    "acquire_with_retry",
     "run_service",
 ]

@@ -26,20 +26,23 @@ import numpy as np
 
 from repro.core.model import MRSIN
 from repro.core.requests import DEFAULT_TYPE, Request
-from repro.service.clock import VirtualClock
+from repro.service.clock import Clock, VirtualClock
 from repro.service.server import (
+    AllocationError,
     AllocationRejected,
     AllocationService,
     AllocationTimeout,
     Lease,
+    LeaseRevoked,
     ServiceClosed,
     ServiceConfig,
+    ServiceFaulted,
 )
 from repro.sim.workload import WorkloadSpec, occupy_random_circuits
-from repro.util.rng import spawn_rngs
+from repro.util.rng import make_rng, spawn_rngs
 from repro.util.tables import Table
 
-__all__ = ["ServiceRunResult", "run_service"]
+__all__ = ["ServiceRunResult", "acquire_with_retry", "run_service"]
 
 
 @dataclass
@@ -159,6 +162,54 @@ def run_service(
     )
 
 
+async def acquire_with_retry(
+    service: AllocationService,
+    request: Request,
+    *,
+    clock: Clock | None = None,
+    rng: int | np.random.Generator | None = None,
+    attempts: int = 6,
+    base_delay: float = 0.5,
+    max_delay: float = 8.0,
+    timeout: float | None = None,
+) -> Lease:
+    """``acquire`` with exponential backoff on rejection/timeout.
+
+    Retries only the *transient* failures — :class:`AllocationRejected`
+    (queue full) and :class:`AllocationTimeout` (deadline passed while
+    queued) — up to ``attempts`` total tries, sleeping
+    ``min(max_delay, base_delay * 2**k)`` scaled by a jitter factor in
+    ``[0.5, 1.0)`` between them.  :class:`ServiceClosed` (including
+    :class:`~repro.service.server.ServiceFaulted`) and validation
+    errors propagate immediately: a closed service will not reopen, so
+    backing off would just hide the failure.
+
+    The jitter is *deterministic*: pass a seed (or a prepared
+    generator) for ``rng`` and the retry schedule reproduces exactly —
+    the same :mod:`repro.util.rng` discipline the rest of the repo
+    follows.  ``clock`` defaults to the service's own clock, so
+    virtual-time tests control the backoff sleeps too.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if base_delay <= 0:
+        raise ValueError(f"base_delay must be positive, got {base_delay}")
+    if max_delay < base_delay:
+        raise ValueError(f"max_delay {max_delay} < base_delay {base_delay}")
+    gen = make_rng(rng)
+    sleeper = clock if clock is not None else service.clock
+    for attempt in range(attempts):
+        try:
+            return await service.acquire(request, timeout=timeout)
+        except (AllocationRejected, AllocationTimeout):
+            if attempt == attempts - 1:
+                raise
+            delay = min(max_delay, base_delay * 2.0**attempt)
+            delay *= 0.5 + 0.5 * float(gen.random())
+            await sleeper.sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def _build_mrsin(spec: WorkloadSpec, rng: np.random.Generator) -> MRSIN:
     """The driver's initial system state (no pending requests)."""
     net = spec.builder(spec.n_ports)
@@ -224,6 +275,11 @@ async def _run(spec: WorkloadSpec, *, rate, horizon, seed, tick_interval, max_ba
     for task in releasers:
         task.cancel()
     await asyncio.gather(*releasers, return_exceptions=True)
+    if service.fault is not None:
+        # The tick loop died mid-run: the snapshot is from a broken
+        # service, so surface the fault instead of returning it.
+        failure = ServiceFaulted(f"service faulted during run: {service.fault!r}")
+        raise failure from service.fault
     return ServiceRunResult(
         snapshot=snapshot,
         horizon=horizon,
@@ -284,11 +340,14 @@ async def _handle_request(
     """One request's lifecycle: queue → lease → transmit → serve → free."""
     try:
         lease = await service.acquire(request)
-    except (AllocationRejected, AllocationTimeout, ServiceClosed):
+    except AllocationError:
         return  # dropped; the metrics block has already counted it
     await clock.sleep(transmission_time)
-    if lease.active:
-        service.end_transmission(lease)
-    await clock.sleep(hold)
-    if lease.active:
-        service.release(lease)
+    try:
+        if lease.active:
+            service.end_transmission(lease)
+        await clock.sleep(hold)
+        if lease.active:
+            service.release(lease)
+    except (LeaseRevoked, ServiceClosed):
+        return  # revoked by a fault, or torn down at shutdown

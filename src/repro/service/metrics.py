@@ -42,6 +42,10 @@ class ServiceMetrics:
         self.released = 0
         self.ticks = 0
         self.degraded_ticks = 0
+        self.revoked = 0
+        self.tick_retries = 0
+        self.faults_injected = 0
+        self.repairs_applied = 0
         self.max_queue_depth = 0
         self._queue_depth_sum = 0
         self._batch_sum = 0
@@ -77,6 +81,22 @@ class ServiceMetrics:
     def record_release(self) -> None:
         """A lease was released (resource freed)."""
         self.released += 1
+
+    def record_revocation(self) -> None:
+        """A fault severed a held allocation; its lease was revoked."""
+        self.revoked += 1
+
+    def record_tick_retry(self) -> None:
+        """A scheduling cycle raised but stayed within the fault budget."""
+        self.tick_retries += 1
+
+    def record_fault_injected(self) -> None:
+        """A fault event failed a healthy component."""
+        self.faults_injected += 1
+
+    def record_repair_applied(self) -> None:
+        """A repair event restored a failed component."""
+        self.repairs_applied += 1
 
     def record_tick(self, batch_size: int, queue_depth: int, degraded: bool) -> None:
         """One scheduling cycle finished."""
@@ -123,6 +143,10 @@ class ServiceMetrics:
             "timed_out": self.timed_out,
             "rejected_full": self.rejected_full,
             "degraded_ticks": self.degraded_ticks,
+            "revoked": self.revoked,
+            "tick_retries": self.tick_retries,
+            "faults_injected": self.faults_injected,
+            "repairs_applied": self.repairs_applied,
             "mean_batch": self.mean_batch,
             "mean_wait": self.mean_wait,
             "mean_queue_depth": self.mean_queue_depth,
@@ -138,7 +162,8 @@ class ServiceMetrics:
         table = Table(["metric", "value"], title=title or "service metrics")
         for key in (
             "ticks", "submitted", "allocated", "released", "timed_out",
-            "rejected_full", "degraded_ticks",
+            "rejected_full", "degraded_ticks", "revoked", "tick_retries",
+            "faults_injected", "repairs_applied",
         ):
             table.add_row(key, snap[key])
         table.add_row("mean_batch", f"{snap['mean_batch']:.3f}")

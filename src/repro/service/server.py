@@ -31,6 +31,23 @@ Transformation-1 network survives across ticks, releases retract their
 circuit's unit of flow instead of discarding the network, and each
 tick augments Dinic from the standing flow — same allocations as a
 cold solve, at a fraction of the per-tick cost.
+
+Fault tolerance (the robustness layer):
+
+- a fault that **severs a held circuit** — a failed link/switchbox on
+  its path, or the resource itself dying — **revokes** the lease: the
+  surviving links and the resource are reclaimed at the next tick, the
+  holder observes ``lease.revoked`` (and may ``await
+  lease.revocation.wait()``), and any later ``release`` /
+  ``end_transmission`` on it raises :class:`LeaseRevoked`.  The
+  service keeps allocating for everyone else;
+- **transient tick errors** are absorbed by a bounded *fault budget*
+  (``ServiceConfig.fault_budget``): up to that many *consecutive*
+  failing scheduling cycles are retried (after invalidating the warm
+  engine) before the loop escalates to :class:`ServiceFaulted`;
+- ``release``/``end_transmission`` on a closed or faulted service
+  raise :class:`ServiceClosed`/:class:`ServiceFaulted` instead of
+  silently mutating an MRSIN nobody serves anymore.
 """
 
 from __future__ import annotations
@@ -56,6 +73,7 @@ __all__ = [
     "AllocationTimeout",
     "AllocationService",
     "Lease",
+    "LeaseRevoked",
     "ServiceClosed",
     "ServiceConfig",
     "ServiceFaulted",
@@ -78,15 +96,24 @@ class ServiceClosed(AllocationError):
     """The service was closed while the request was queued."""
 
 
-class ServiceFaulted(AllocationError):
-    """A scheduling cycle raised inside the tick loop.
+class ServiceFaulted(ServiceClosed):
+    """The tick loop exhausted its fault budget and shut the service.
 
-    The service marks itself closed and fails every queued request
-    with this error instead of letting the loop die silently (which
-    would leave all queued ``acquire`` calls hanging until their
-    deadlines — forever, with no timeout).  The original exception is
-    kept on :attr:`AllocationService.fault` and chained as
-    ``__cause__``.
+    A faulted service *is* closed (hence the subclassing): queued
+    requests fail with this error instead of the loop dying silently
+    (which would leave all queued ``acquire`` calls hanging until
+    their deadlines — forever, with no timeout).  The original
+    exception is kept on :attr:`AllocationService.fault` and chained
+    as ``__cause__``.
+    """
+
+
+class LeaseRevoked(AllocationError):
+    """The lease was revoked because a fault severed its allocation.
+
+    Raised by ``release``/``end_transmission`` on a revoked lease;
+    holders watching ``lease.revocation`` learn about it at revocation
+    time instead.
     """
 
 
@@ -120,6 +147,11 @@ class ServiceConfig:
         counts are identical either way; only steady-state tick cost
         changes.  Disable to force the cold from-scratch path (the
         benchmark comparator).
+    fault_budget:
+        How many *consecutive* failing scheduling cycles the tick loop
+        absorbs (invalidating the warm engine and retrying next tick)
+        before escalating to :class:`ServiceFaulted`.  The default 0
+        faults on the first error — the pre-fault-model behaviour.
     """
 
     tick_interval: float = 1.0
@@ -130,6 +162,7 @@ class ServiceConfig:
     maxflow: str = "dinic"
     mincost: str = "out_of_kilter"
     warm_start: bool = True
+    fault_budget: int = 0
 
     def __post_init__(self) -> None:
         if self.tick_interval <= 0:
@@ -140,6 +173,8 @@ class ServiceConfig:
             raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
         if self.degrade_watermark is not None and self.degrade_watermark < 0:
             raise ValueError("degrade_watermark must be >= 0")
+        if self.fault_budget < 0:
+            raise ValueError(f"fault_budget must be >= 0, got {self.fault_budget}")
 
 
 @dataclass
@@ -150,6 +185,12 @@ class Lease:
     :meth:`AllocationService.end_transmission` releases the circuit
     while the resource keeps serving; :meth:`AllocationService.release`
     frees the resource (tearing down the circuit too if still held).
+
+    A fault that severs the allocation revokes the lease instead:
+    ``active`` drops, ``revoked`` rises, and the ``revocation`` event
+    fires — ``await lease.revocation.wait()`` is the holder's push
+    notification.  Touching a revoked lease afterwards raises
+    :class:`LeaseRevoked`.
     """
 
     lease_id: int
@@ -160,6 +201,8 @@ class Lease:
     waited: float
     transmitting: bool = True
     active: bool = True
+    revoked: bool = False
+    revocation: asyncio.Event = field(default_factory=asyncio.Event)
 
 
 @dataclass
@@ -228,8 +271,7 @@ class AllocationService:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Start the background tick loop."""
-        if self._closed:
-            raise ServiceClosed("service already closed")
+        self._check_open()
         if self._loop_task is None:
             self._loop_task = asyncio.get_running_loop().create_task(self._tick_loop())
 
@@ -256,6 +298,7 @@ class AllocationService:
         await self.close()
 
     async def _tick_loop(self) -> None:
+        consecutive_failures = 0
         while True:
             await self.clock.sleep(self.config.tick_interval)
             try:
@@ -263,10 +306,19 @@ class AllocationService:
             except asyncio.CancelledError:  # pragma: no cover - close() path
                 raise
             except Exception as exc:
-                # A dying tick loop must not strand queued acquires:
-                # fault the whole service loudly instead.
-                self._fault(exc)
-                return
+                consecutive_failures += 1
+                if consecutive_failures > self.config.fault_budget:
+                    # A dying tick loop must not strand queued acquires:
+                    # fault the whole service loudly instead.
+                    self._fault(exc)
+                    return
+                # Within budget: assume transient corruption, drop the
+                # warm state and retry on the next tick.
+                self.metrics.record_tick_retry()
+                if self._engine is not None:
+                    self._engine.invalidate()
+            else:
+                consecutive_failures = 0
 
     def _fault(self, exc: Exception) -> None:
         """Mark the service faulted and fail everything still queued."""
@@ -292,6 +344,15 @@ class AllocationService:
         """Leases granted and not yet released."""
         return len(self._leases)
 
+    def _check_open(self) -> None:
+        """Raise the right error if the service no longer serves."""
+        if self.fault is not None:
+            failure = ServiceFaulted(f"service faulted: {self.fault!r}")
+            failure.__cause__ = self.fault
+            raise failure
+        if self._closed:
+            raise ServiceClosed("service is closed")
+
     async def acquire(self, request: Request, *, timeout: float | None = None) -> Lease:
         """Queue ``request`` and await its lease.
 
@@ -301,8 +362,7 @@ class AllocationService:
         serve it, and :class:`ServiceClosed` if the service shuts down
         first.
         """
-        if self._closed:
-            raise ServiceClosed("service is closed")
+        self._check_open()
         if not 0 <= request.processor < self.mrsin.n_processors:
             raise ValueError(
                 f"processor {request.processor} outside [0, {self.mrsin.n_processors})"
@@ -343,9 +403,19 @@ class AllocationService:
                 pass
 
     def release(self, lease: Lease) -> None:
-        """Free the lease's resource (and its circuit, if still held)."""
+        """Free the lease's resource (and its circuit, if still held).
+
+        Raises :class:`LeaseRevoked` if a fault already revoked the
+        lease, :class:`AllocationError` on double release, and
+        :class:`ServiceClosed`/:class:`ServiceFaulted` when the service
+        no longer serves (mutating an abandoned MRSIN silently would
+        mask bugs).
+        """
+        if lease.revoked:
+            raise LeaseRevoked(f"lease {lease.lease_id} was revoked by a fault")
         if not lease.active:
             raise AllocationError(f"lease {lease.lease_id} already released")
+        self._check_open()
         self.mrsin.complete_service(lease.resource)
         if self._engine is not None:
             self._engine.note_release(lease.resource)
@@ -359,16 +429,77 @@ class AllocationService:
 
         Model item 5: *"The circuit ... can be released once the
         request has been transmitted"* — the processor's input link
-        becomes free for its next request.
+        becomes free for its next request.  Raises like
+        :meth:`release` on a revoked lease or a closed/faulted
+        service.
         """
+        if lease.revoked:
+            raise LeaseRevoked(f"lease {lease.lease_id} was revoked by a fault")
         if not lease.active:
             raise AllocationError(f"lease {lease.lease_id} already released")
+        self._check_open()
         if not lease.transmitting:
             return
         self.mrsin.complete_transmission(lease.resource)
         if self._engine is not None:
             self._engine.note_transmission_end(lease.resource)
         lease.transmitting = False
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def apply_fault_event(self, event) -> bool:
+        """Apply one :class:`~repro.faults.injector.FaultEvent` to the MRSIN.
+
+        Returns whether the event changed anything (repairing a healthy
+        component, or re-failing a failed one, is a no-op).  Severed
+        circuits are *not* reclaimed here — :meth:`reconcile_faults`
+        does that at the next tick boundary, mirroring how the paper's
+        monitor only observes network status between cycles.
+        """
+        from repro.faults.injector import apply_event
+
+        changed = apply_event(self.mrsin, event)
+        if changed:
+            if event.repair:
+                self.metrics.record_repair_applied()
+            else:
+                self.metrics.record_fault_injected()
+        return changed
+
+    def reconcile_faults(self) -> list[Lease]:
+        """Revoke every lease whose allocation a fault has severed.
+
+        A severed allocation — a failed link or switchbox on the held
+        circuit, or the resource itself failed — cannot be released by
+        its holder (the component is gone), so the service reclaims it:
+        the surviving links and the resource slot go back to the pool,
+        the warm engine retracts the unit of flow, and the lease is
+        revoked (``lease.revocation`` fires).  Severed circuits with no
+        lease (e.g. background load applied directly to the MRSIN) are
+        reclaimed too.  Returns the leases revoked; called at the top
+        of every :meth:`run_one_cycle`.
+        """
+        revoked: list[Lease] = []
+        severed = self.mrsin.severed_resources()
+        if not severed:
+            return revoked
+        by_resource = {lease.resource: lease for lease in self._leases.values()}
+        for idx in severed:
+            self.mrsin.revoke(idx)
+            if self._engine is not None:
+                self._engine.note_release(idx)
+            lease = by_resource.get(idx)
+            if lease is None:
+                continue
+            lease.active = False
+            lease.transmitting = False
+            lease.revoked = True
+            lease.revocation.set()
+            del self._leases[lease.lease_id]
+            self.metrics.record_revocation()
+            revoked.append(lease)
+        return revoked
 
     # ------------------------------------------------------------------
     # The scheduling cycle
@@ -379,6 +510,7 @@ class AllocationService:
         The tick loop calls this every ``tick_interval``; tests may
         call it directly for exact tick control.
         """
+        self.reconcile_faults()
         now = self.clock.now()
         self._expire_deadlines(now)
         batch = self._select_batch()
@@ -461,10 +593,12 @@ class AllocationService:
         self._queue = alive
 
     def _select_batch(self) -> list[_Entry]:
-        """FIFO batch: ≤1 request per processor, idle input links only.
+        """FIFO batch: ≤1 request per processor, usable input links only.
 
         Mirrors :meth:`MRSIN.schedulable_requests` over the service's
-        own queue (model item 5), truncated at ``max_batch``.
+        own queue (model item 5), truncated at ``max_batch``.  A
+        processor whose input link is occupied *or failed* stays queued
+        — its requests wait out the fault (or their deadline).
         """
         limit = self.config.max_batch or len(self._queue)
         batch: list[_Entry] = []
@@ -479,19 +613,34 @@ class AllocationService:
             proc = entry.request.processor
             if proc in seen:
                 continue
-            if self.mrsin.network.processor_link(proc).occupied:
+            link = self.mrsin.network.processor_link(proc)
+            if link.occupied or not self.mrsin.network.link_usable(link):
                 continue
             seen.add(proc)
             batch.append(entry)
         return batch
 
+    def peek_batch(self) -> list[Request]:
+        """The requests the next cycle would feed the solver (read-only).
+
+        The chaos harness uses this for its cold-vs-warm differential:
+        it computes a cold schedule on exactly the batch the warm tick
+        is about to solve.  Call :meth:`reconcile_faults` first if
+        faults may have landed since the last tick.
+        """
+        return [entry.request for entry in self._select_batch()]
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Current metrics snapshot plus live queue/lease gauges."""
+        """Current metrics snapshot plus live queue/lease/fault gauges."""
         snap = self.metrics.snapshot()
         snap["queue_depth"] = self.queue_depth
         snap["active_leases"] = self.active_leases
         snap["utilization"] = self.mrsin.utilization()
+        failed = self.mrsin.failed_components()
+        snap["failed_links"] = len(failed["links"])
+        snap["failed_switchboxes"] = len(failed["switchboxes"])
+        snap["failed_resources"] = len(failed["resources"])
         if self._engine is not None:
             snap["engine_builds"] = self._engine.builds
             snap["engine_warm_ticks"] = self._engine.warm_ticks

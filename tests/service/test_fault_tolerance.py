@@ -1,0 +1,501 @@
+"""Service-level fault tolerance: lease revocation, the tick-loop
+fault budget, closed/faulted-service errors, and retry-with-backoff."""
+
+import asyncio
+
+import pytest
+
+from repro.core import MRSIN, Request
+from repro.faults import FaultEvent
+from repro.networks import omega
+from repro.service.clock import VirtualClock
+from repro.service.driver import acquire_with_retry
+from repro.service.server import (
+    AllocationError,
+    AllocationRejected,
+    AllocationService,
+    LeaseRevoked,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceFaulted,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def drain(rounds: int = 16):
+    for _ in range(rounds):
+        await asyncio.sleep(0)
+
+
+def make_service(mrsin, **config_kwargs):
+    defaults = dict(queue_limit=256)
+    defaults.update(config_kwargs)
+    return AllocationService(
+        mrsin, config=ServiceConfig(**defaults), clock=VirtualClock()
+    )
+
+
+async def enqueue(service, requests, timeout=None):
+    tasks = [
+        asyncio.ensure_future(service.acquire(req, timeout=timeout))
+        for req in requests
+    ]
+    await drain()
+    return tasks
+
+
+async def finish(tasks):
+    for t in tasks:
+        if not t.done():
+            t.cancel()
+    return await asyncio.gather(*tasks, return_exceptions=True)
+
+
+# ----------------------------------------------------------------------
+# Revocation: a fault severs one lease, the service keeps serving
+# ----------------------------------------------------------------------
+class TestLeaseRevocation:
+    def test_link_fault_revokes_only_the_severed_lease(self):
+        """The tentpole scenario: a fault on one held circuit revokes
+        exactly that lease; every other lease survives and the service
+        keeps allocating on the degraded network."""
+
+        async def scenario():
+            mrsin = MRSIN(omega(8))
+            service = make_service(mrsin)
+            tasks = await enqueue(service, [Request(p) for p in range(4)])
+            leases = service.run_one_cycle()
+            await finish(tasks)
+            assert len(leases) == 4
+            victim = leases[0]
+            mrsin.fail_link(victim.circuit.links[1].index)
+            revoked = service.reconcile_faults()
+            assert revoked == [victim]
+            assert victim.revoked and not victim.active
+            assert victim.revocation.is_set()
+            assert service.active_leases == 3
+            for survivor in leases[1:]:
+                assert survivor.active and not survivor.revoked
+            assert not mrsin.resources[victim.resource].busy
+            assert all(not link.occupied for link in victim.circuit.links)
+            # The service still allocates for everyone else.
+            tasks2 = await enqueue(service, [Request(p) for p in range(4, 8)])
+            leases2 = service.run_one_cycle()
+            await finish(tasks2)
+            assert len(leases2) == 4
+            assert service.snapshot()["revoked"] == 1
+
+        run(scenario())
+
+    def test_resource_fault_revokes_lease(self):
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin)
+            tasks = await enqueue(service, [Request(0)])
+            (lease,) = service.run_one_cycle()
+            await finish(tasks)
+            mrsin.fail_resource(lease.resource)
+            # run_one_cycle reconciles implicitly — no manual call.
+            service.run_one_cycle()
+            assert lease.revoked
+            assert service.active_leases == 0
+
+        run(scenario())
+
+    def test_release_and_end_transmission_on_revoked_lease_raise(self):
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin)
+            tasks = await enqueue(service, [Request(1)])
+            (lease,) = service.run_one_cycle()
+            await finish(tasks)
+            mrsin.fail_link(lease.circuit.links[0].index)
+            service.reconcile_faults()
+            with pytest.raises(LeaseRevoked):
+                service.release(lease)
+            with pytest.raises(LeaseRevoked):
+                service.end_transmission(lease)
+
+        run(scenario())
+
+    def test_holder_observes_revocation_event(self):
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin)
+            tasks = await enqueue(service, [Request(0)])
+            (lease,) = service.run_one_cycle()
+            await finish(tasks)
+            waiter = asyncio.ensure_future(lease.revocation.wait())
+            await drain()
+            assert not waiter.done()
+            mrsin.fail_resource(lease.resource)
+            service.reconcile_faults()
+            await drain()
+            assert waiter.done()  # push notification, no polling
+
+        run(scenario())
+
+    def test_revoked_resource_reusable_after_repair(self):
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin)
+            tasks = await enqueue(service, [Request(2)])
+            (lease,) = service.run_one_cycle()
+            await finish(tasks)
+            mrsin.fail_resource(lease.resource)
+            service.run_one_cycle()
+            mrsin.repair_resource(lease.resource)
+            tasks2 = await enqueue(service, [Request(p) for p in range(4)])
+            leases2 = service.run_one_cycle()
+            await finish(tasks2)
+            assert len(leases2) == 4  # full capacity restored
+
+        run(scenario())
+
+    def test_apply_fault_event_counts_metrics(self):
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin)
+            assert service.apply_fault_event(FaultEvent(0.0, "link", 0)) is True
+            assert service.apply_fault_event(FaultEvent(0.0, "link", 0)) is False
+            assert service.apply_fault_event(FaultEvent(1.0, "link", 0, repair=True))
+            snap = service.snapshot()
+            assert snap["faults_injected"] == 1
+            assert snap["repairs_applied"] == 1
+
+        run(scenario())
+
+    def test_snapshot_reports_failed_components(self):
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin)
+            mrsin.fail_link(0)
+            mrsin.fail_switchbox(0, 0)
+            mrsin.fail_resource(1)
+            snap = service.snapshot()
+            assert snap["failed_links"] == 1
+            assert snap["failed_switchboxes"] == 1
+            assert snap["failed_resources"] == 1
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Closed / faulted service: loud errors, not silent mutation
+# ----------------------------------------------------------------------
+class TestClosedServiceErrors:
+    def test_release_on_closed_service_raises(self):
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin)
+            tasks = await enqueue(service, [Request(0)])
+            (lease,) = service.run_one_cycle()
+            await finish(tasks)
+            await service.close()
+            with pytest.raises(ServiceClosed):
+                service.release(lease)
+            with pytest.raises(ServiceClosed):
+                service.end_transmission(lease)
+            assert lease.active  # the refusal left the lease untouched
+
+        run(scenario())
+
+    def test_release_on_faulted_service_raises_chained(self):
+        async def scenario():
+            clock = VirtualClock()
+            mrsin = MRSIN(omega(4))
+            service = AllocationService(
+                mrsin, config=ServiceConfig(tick_interval=1.0), clock=clock
+            )
+            tasks = await enqueue(service, [Request(0)])
+            (lease,) = service.run_one_cycle()
+            await finish(tasks)
+            boom = RuntimeError("solver exploded")
+
+            def failing_cycle():
+                raise boom
+
+            service.run_one_cycle = failing_cycle
+            async with service:
+                await clock.run_until(1.0)
+                await drain()
+            with pytest.raises(ServiceFaulted) as excinfo:
+                service.release(lease)
+            assert excinfo.value.__cause__ is boom
+            with pytest.raises(ServiceFaulted):
+                service.end_transmission(lease)
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Fault budget: transient tick errors are absorbed, then escalate
+# ----------------------------------------------------------------------
+class TestFaultBudget:
+    def _flaky_service(self, failures: int, budget: int):
+        clock = VirtualClock()
+        mrsin = MRSIN(omega(4))
+        service = AllocationService(
+            mrsin,
+            config=ServiceConfig(tick_interval=1.0, fault_budget=budget),
+            clock=clock,
+        )
+        original = service.run_one_cycle
+        remaining = [failures]
+
+        def flaky_cycle():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                raise RuntimeError("transient glitch")
+            return original()
+
+        service.run_one_cycle = flaky_cycle
+        return service, clock
+
+    def test_budget_absorbs_transient_errors(self):
+        async def scenario():
+            service, clock = self._flaky_service(failures=2, budget=2)
+            async with service:
+                task = asyncio.ensure_future(service.acquire(Request(0)))
+                await drain()
+                await clock.run_until(3.0)
+                await drain()
+                lease = await task  # granted on the third tick
+            assert lease.resource in range(4)
+            assert service.fault is None
+            assert service.metrics.tick_retries == 2
+
+        run(scenario())
+
+    def test_budget_exhaustion_faults_the_service(self):
+        async def scenario():
+            service, clock = self._flaky_service(failures=5, budget=2)
+            async with service:
+                task = asyncio.ensure_future(service.acquire(Request(0)))
+                await drain()
+                await clock.run_until(3.0)
+                await drain()
+                with pytest.raises(ServiceFaulted):
+                    await task
+            assert service.fault is not None
+            assert service.metrics.tick_retries == 2  # budget, then escalation
+
+        run(scenario())
+
+    def test_success_resets_the_budget_window(self):
+        """The budget bounds *consecutive* failures: a good tick in
+        between restarts the count."""
+
+        async def scenario():
+            clock = VirtualClock()
+            mrsin = MRSIN(omega(4))
+            service = AllocationService(
+                mrsin,
+                config=ServiceConfig(tick_interval=1.0, fault_budget=1),
+                clock=clock,
+            )
+            original = service.run_one_cycle
+            schedule = iter([True, False, True, False])  # fail, ok, fail, ok
+
+            def alternating_cycle():
+                if next(schedule, False):
+                    raise RuntimeError("transient glitch")
+                return original()
+
+            service.run_one_cycle = alternating_cycle
+            async with service:
+                await clock.run_until(4.0)
+                await drain()
+            assert service.fault is None
+            assert service.metrics.tick_retries == 2
+
+        run(scenario())
+
+    def test_fault_budget_validation(self):
+        with pytest.raises(ValueError, match="fault_budget"):
+            ServiceConfig(fault_budget=-1)
+
+
+# ----------------------------------------------------------------------
+# acquire_with_retry: bounded, deterministic backoff
+# ----------------------------------------------------------------------
+class TestAcquireWithRetry:
+    def test_retry_succeeds_after_queue_drains(self):
+        async def scenario():
+            clock = VirtualClock()
+            mrsin = MRSIN(omega(8))
+            service = AllocationService(
+                mrsin,
+                config=ServiceConfig(tick_interval=1.0, queue_limit=1),
+                clock=clock,
+            )
+            async with service:
+                blocker = asyncio.ensure_future(service.acquire(Request(0)))
+                await drain()
+                retrier = asyncio.ensure_future(
+                    acquire_with_retry(service, Request(1), rng=7, base_delay=0.5)
+                )
+                await drain()
+                assert not retrier.done()  # first attempt bounced, backing off
+                await clock.run_until(20.0)
+                await drain()
+                lease0 = await blocker
+                lease1 = await retrier
+                assert lease1.request.processor == 1
+                service.release(lease0)
+                service.release(lease1)
+
+        run(scenario())
+
+    def test_retry_gives_up_after_attempts(self):
+        async def scenario():
+            clock = VirtualClock()
+            mrsin = MRSIN(omega(4))
+            service = AllocationService(
+                mrsin,
+                config=ServiceConfig(tick_interval=1.0, queue_limit=1),
+                clock=clock,
+            )
+            # Never start the loop: the queue never drains.
+            blocker = asyncio.ensure_future(service.acquire(Request(0)))
+            await drain()
+            retrier = asyncio.ensure_future(
+                acquire_with_retry(service, Request(1), rng=3, attempts=3)
+            )
+            await drain()
+            await clock.run_until(100.0)
+            await drain()
+            with pytest.raises(AllocationRejected):
+                await retrier
+            blocker.cancel()
+            await asyncio.gather(blocker, return_exceptions=True)
+            await service.close()
+
+        run(scenario())
+
+    def test_retry_schedule_is_deterministic(self):
+        async def attempt_times(seed):
+            clock = VirtualClock()
+            mrsin = MRSIN(omega(4))
+            service = AllocationService(
+                mrsin, config=ServiceConfig(queue_limit=1), clock=clock
+            )
+            blocker = asyncio.ensure_future(service.acquire(Request(0)))
+            await drain()
+            times = []
+            original = service.acquire
+
+            async def recording_acquire(request, **kwargs):
+                times.append(clock.now())
+                return await original(request, **kwargs)
+
+            service.acquire = recording_acquire
+            retrier = asyncio.ensure_future(
+                acquire_with_retry(service, Request(1), rng=seed, attempts=4)
+            )
+            await drain()
+            await clock.run_until(100.0)
+            await drain()
+            with pytest.raises(AllocationRejected):
+                await retrier
+            blocker.cancel()
+            await asyncio.gather(blocker, return_exceptions=True)
+            await service.close()
+            return times
+
+        first = run(attempt_times(11))
+        second = run(attempt_times(11))
+        other = run(attempt_times(12))
+        assert len(first) == 4
+        assert first == second  # same seed, same backoff schedule
+        assert first != other  # jitter really depends on the seed
+
+    def test_closed_service_propagates_immediately(self):
+        async def scenario():
+            service = make_service(MRSIN(omega(4)))
+            await service.close()
+            with pytest.raises(ServiceClosed):
+                await acquire_with_retry(service, Request(0), rng=0)
+
+        run(scenario())
+
+    def test_retry_validates_parameters(self):
+        async def scenario():
+            service = make_service(MRSIN(omega(4)))
+            with pytest.raises(ValueError, match="attempts"):
+                await acquire_with_retry(service, Request(0), attempts=0)
+            with pytest.raises(ValueError, match="base_delay"):
+                await acquire_with_retry(service, Request(0), base_delay=0.0)
+            with pytest.raises(ValueError, match="max_delay"):
+                await acquire_with_retry(
+                    service, Request(0), base_delay=2.0, max_delay=1.0
+                )
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Cold-path regressions: the fixes hold with warm_start=False too
+# ----------------------------------------------------------------------
+class TestColdPathRegressions:
+    def test_cancelled_acquire_unwinds_without_engine(self):
+        """The cancelled-winner unwind must not depend on the warm
+        engine being present."""
+
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin, warm_start=False)
+            task0, task1 = await enqueue(service, [Request(0), Request(1)])
+            original = service._select_batch
+
+            def select_then_cancel():
+                batch = original()
+                for entry in batch:
+                    if entry.request.processor == 0:
+                        entry.future.cancel()
+                return batch
+
+            service._select_batch = select_then_cancel
+            leases = service.run_one_cycle()
+            await drain()
+            assert len(leases) == 1
+            assert leases[0].request.processor == 1
+            busy = [res.index for res in mrsin.resources if res.busy]
+            assert busy == [leases[0].resource]
+            assert task0.cancelled()
+            assert (await task1) is leases[0]
+
+        run(scenario())
+
+    def test_double_release_raises_without_engine(self):
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin, warm_start=False)
+            tasks = await enqueue(service, [Request(1)])
+            (lease,) = service.run_one_cycle()
+            await finish(tasks)
+            service.release(lease)
+            with pytest.raises(AllocationError):
+                service.release(lease)
+
+        run(scenario())
+
+    def test_revocation_works_without_engine(self):
+        async def scenario():
+            mrsin = MRSIN(omega(4))
+            service = make_service(mrsin, warm_start=False)
+            tasks = await enqueue(service, [Request(0)])
+            (lease,) = service.run_one_cycle()
+            await finish(tasks)
+            mrsin.fail_link(lease.circuit.links[0].index)
+            (revoked,) = service.reconcile_faults()
+            assert revoked is lease
+            tasks2 = await enqueue(service, [Request(1)])
+            leases2 = service.run_one_cycle()
+            await finish(tasks2)
+            assert len(leases2) == 1
+
+        run(scenario())

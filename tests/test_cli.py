@@ -92,6 +92,41 @@ class TestCommands:
         assert "request-token-propagation" in out
         assert "clk" in out
 
+    def test_chaos(self, capsys):
+        assert main([
+            "chaos", "--network", "omega", "--ports", "8",
+            "--ticks", "60", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invariants" in out and "all held" in out
+        assert "faults_injected" in out
+
+    def test_chaos_deterministic_output(self, capsys):
+        argv = ["chaos", "--ports", "8", "--ticks", "40", "--seed", "6"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_rejects_bad_ticks(self):
+        with pytest.raises(SystemExit, match="ticks"):
+            main(["chaos", "--ticks", "0"])
+
+    def test_serve_faulted_service_exits_nonzero(self, monkeypatch):
+        """A faulted run must surface as a one-line diagnostic and a
+        nonzero exit, not a metrics table from a broken service."""
+        import repro.service.driver as driver
+        from repro.service.server import ServiceFaulted
+
+        def faulted_run(*args, **kwargs):
+            failure = ServiceFaulted("service faulted during run")
+            failure.__cause__ = RuntimeError("solver exploded")
+            raise failure
+
+        monkeypatch.setattr(driver, "run_service", faulted_run)
+        with pytest.raises(SystemExit, match="service faulted"):
+            main(["serve", "--horizon", "5"])
+
 
 def test_scheduler_handles_rendered_instance():
     """Rendering must not disturb scheduling state."""

@@ -1,0 +1,286 @@
+"""Tests for the fault model: core exclusion semantics, revocation,
+the seeded injector, and the chaos harness invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MRSIN, OptimalScheduler, Request
+from repro.core.heuristic import greedy_schedule
+from repro.core.incremental import IncrementalFlowEngine
+from repro.faults import ChaosInvariantError, FaultEvent, FaultInjector, apply_event, run_chaos
+from repro.networks import benes, omega
+
+
+def fresh(n=8, n_requests=None):
+    m = MRSIN(omega(n))
+    for p in range(n if n_requests is None else n_requests):
+        m.submit(Request(p))
+    return m
+
+
+# ----------------------------------------------------------------------
+# Core exclusion: failed components never enter a schedule
+# ----------------------------------------------------------------------
+class TestCoreFaultModel:
+    def test_failed_resource_not_allocated(self):
+        m = fresh(8)
+        m.fail_resource(0)
+        m.fail_resource(1)
+        mapping = OptimalScheduler().schedule(m)
+        assert all(a.resource.index not in (0, 1) for a in mapping.assignments)
+        assert len(mapping) == 6  # 8 requests, 6 surviving resources
+
+    def test_failed_input_link_blocks_processor(self):
+        m = fresh(8)
+        link = m.network.processor_link(3)
+        m.fail_link(link.index)
+        assert all(r.processor != 3 for r in m.schedulable_requests())
+        mapping = OptimalScheduler().schedule(m)
+        assert all(a.request.processor != 3 for a in mapping.assignments)
+
+    def test_failed_switchbox_excluded_everywhere(self):
+        """Optimal and greedy schedules both avoid a dead switchbox."""
+        m = fresh(8)
+        m.fail_switchbox(0, 0)
+        for mapping in (OptimalScheduler().schedule(m), greedy_schedule(m)):
+            for a in mapping.assignments:
+                for link in a.path:
+                    for ref in (link.src, link.dst):
+                        if ref.kind in ("box_in", "box_out"):
+                            assert (ref.stage, ref.box) != (0, 0)
+
+    def test_faulted_solve_equals_subgraph_solve(self):
+        """Theorem 2 on the surviving subgraph: failing half the
+        resources gives exactly the max flow of the degraded network."""
+        m = fresh(8)
+        for idx in range(0, 8, 2):
+            m.fail_resource(idx)
+        assert len(OptimalScheduler().schedule(m)) == 4
+
+    def test_fail_and_repair_are_idempotent(self):
+        m = fresh(4)
+        assert m.fail_link(0) is True
+        assert m.fail_link(0) is False
+        assert m.repair_link(0) is True
+        assert m.repair_link(0) is False
+        assert m.fail_switchbox(0, 0) and not m.fail_switchbox(0, 0)
+        assert m.repair_switchbox(0, 0) and not m.repair_switchbox(0, 0)
+        assert m.fail_resource(2) and not m.fail_resource(2)
+        assert m.repair_resource(2) and not m.repair_resource(2)
+        assert m.failed_components() == {"links": [], "switchboxes": [], "resources": []}
+
+    def test_repair_restores_full_capacity(self):
+        m = fresh(8)
+        m.fail_resource(0)
+        m.repair_resource(0)
+        assert len(OptimalScheduler().schedule(m)) == 8
+
+    def test_reset_clears_faults(self):
+        m = fresh(4)
+        m.fail_link(0)
+        m.fail_switchbox(0, 0)
+        m.fail_resource(1)
+        m.reset()
+        assert m.failed_components() == {"links": [], "switchboxes": [], "resources": []}
+
+    def test_establish_circuit_rejects_failed_path(self):
+        m = fresh(8)
+        mapping = OptimalScheduler().schedule(m)
+        path = mapping.assignments[0].path
+        m.fail_link(path[0].index)
+        with pytest.raises(ValueError, match="failed"):
+            m.network.establish_circuit(path)
+
+
+# ----------------------------------------------------------------------
+# Severed circuits and revocation
+# ----------------------------------------------------------------------
+class TestSeveranceAndRevoke:
+    def _allocate_one(self):
+        m = MRSIN(omega(8))
+        m.submit(Request(0))
+        mapping = OptimalScheduler().schedule(m)
+        m.apply_mapping(mapping)
+        a = mapping.assignments[0]
+        return m, a.resource.index, a.path
+
+    def test_link_fault_severs_held_circuit(self):
+        m, res, path = self._allocate_one()
+        assert m.severed_resources() == []
+        m.fail_link(path[1].index)
+        assert m.severed_resources() == [res]
+
+    def test_resource_fault_severs_even_after_transmission(self):
+        m, res, _ = self._allocate_one()
+        m.complete_transmission(res)  # circuit gone, resource still busy
+        m.fail_resource(res)
+        assert m.severed_resources() == [res]
+
+    def test_revoke_frees_links_and_resource(self):
+        m, res, path = self._allocate_one()
+        m.fail_link(path[0].index)
+        circuit = m.revoke(res)
+        assert circuit is not None
+        assert not m.resources[res].busy
+        assert all(not link.occupied for link in path)
+        assert m.severed_resources() == []
+
+    def test_revoke_idle_resource_raises(self):
+        m = MRSIN(omega(4))
+        with pytest.raises(ValueError, match="not busy"):
+            m.revoke(0)
+
+    def test_warm_engine_absorbs_fault_without_rebuild(self):
+        """A fault/repair between ticks is a capacity delta the sync
+        scan absorbs in place — no cold rebuild of the engine."""
+        m = MRSIN(omega(8))
+        engine = IncrementalFlowEngine(m)
+        sched = OptimalScheduler()
+        for p in range(4):
+            m.submit(Request(p))
+        mapping = sched.schedule_incremental(m, engine=engine)
+        m.apply_mapping(mapping)
+        engine.commit(mapping)
+        builds_before = engine.builds
+        m.fail_resource(6)
+        m.fail_link(m.network.processor_link(7).index)
+        for p in range(4, 8):
+            m.submit(Request(p))
+        degraded = sched.schedule_incremental(m, engine=engine)
+        assert engine.builds == builds_before  # absorbed, not rebuilt
+        assert all(a.resource.index != 6 for a in degraded.assignments)
+        cold = len(OptimalScheduler().schedule(m, [r for r in m.schedulable_requests()]))
+        assert len(degraded) == cold
+
+
+# ----------------------------------------------------------------------
+# The injector: seeded, replayable, transient repairs ride the timeline
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_same_seed_same_schedule(self):
+        m = MRSIN(omega(8))
+        histories = []
+        for _ in range(2):
+            inj = FaultInjector(m, rng=42, fault_rate=0.5)
+            history = []
+            for t in range(1, 101):
+                history.extend(inj.events_until(float(t)))
+            histories.append(history)
+        assert histories[0] == histories[1]
+        assert len(histories[0]) > 0
+
+    def test_events_arrive_in_time_order(self):
+        inj = FaultInjector(MRSIN(omega(8)), rng=7, fault_rate=1.0)
+        events = inj.events_until(50.0)
+        assert events == sorted(events, key=lambda e: e.time)
+
+    def test_transient_faults_schedule_repairs(self):
+        inj = FaultInjector(
+            MRSIN(omega(8)), rng=1, fault_rate=1.0,
+            transient_fraction=1.0, mean_repair=1.0,
+        )
+        events = inj.events_until(200.0)
+        faults = [e for e in events if not e.repair]
+        repairs = [e for e in events if e.repair]
+        assert all(e.transient for e in faults)
+        # Every fault's repair eventually lands on the same target.
+        assert {(e.kind, e.target) for e in repairs} <= {(e.kind, e.target) for e in faults}
+        assert len(repairs) > 0
+
+    def test_permanent_faults_never_heal(self):
+        inj = FaultInjector(
+            MRSIN(omega(8)), rng=1, fault_rate=1.0, transient_fraction=0.0,
+        )
+        events = inj.events_until(100.0)
+        assert events and all(not e.repair and not e.transient for e in events)
+
+    def test_apply_event_round_trip(self):
+        m = MRSIN(omega(8))
+        fail = FaultEvent(time=0.0, kind="link", target=3)
+        heal = FaultEvent(time=1.0, kind="link", target=3, repair=True)
+        assert apply_event(m, fail) is True
+        assert m.network.links[3].failed
+        assert apply_event(m, fail) is False  # idempotent
+        assert apply_event(m, heal) is True
+        assert not m.network.links[3].failed
+
+    def test_apply_event_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            apply_event(MRSIN(omega(4)), FaultEvent(time=0.0, kind="bus", target=0))
+
+    def test_injector_validates_parameters(self):
+        m = MRSIN(omega(4))
+        with pytest.raises(ValueError):
+            FaultInjector(m, fault_rate=0.0)
+        with pytest.raises(ValueError):
+            FaultInjector(m, transient_fraction=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(m, mean_repair=-1.0)
+        with pytest.raises(ValueError):
+            FaultInjector(m, kinds=("link", "bus"))
+
+
+# ----------------------------------------------------------------------
+# Chaos: churn with hard invariants (CI runs the full 2000-tick job)
+# ----------------------------------------------------------------------
+class TestChaos:
+    def test_chaos_invariants_hold_on_omega(self):
+        report = run_chaos(topology="omega", ports=16, ticks=400, seed=5)
+        assert report.allocated > 0
+        assert report.released > 0
+        assert report.faults_injected > 0
+        assert report.differential_checks == 400
+
+    def test_chaos_exercises_revocation(self):
+        # Seed/rate chosen so faults actually sever live circuits.
+        report = run_chaos(
+            topology="omega", ports=16, ticks=400, seed=5, fault_rate=0.2,
+        )
+        assert report.revoked > 0
+
+    @pytest.mark.parametrize("topology", ["benes", "clos"])
+    def test_chaos_invariants_hold_on_rearrangeable_nets(self, topology):
+        report = run_chaos(topology=topology, ports=8, ticks=150, seed=9)
+        assert report.allocated > 0
+
+    def test_chaos_is_deterministic(self):
+        a = run_chaos(topology="omega", ports=8, ticks=120, seed=3)
+        b = run_chaos(topology="omega", ports=8, ticks=120, seed=3)
+        assert a == b
+
+    def test_chaos_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="unknown chaos topology"):
+            run_chaos(topology="crossbar", ticks=10)
+        with pytest.raises(ValueError, match="ticks"):
+            run_chaos(ticks=0)
+        with pytest.raises(ValueError, match="check_every"):
+            run_chaos(ticks=10, check_every=0)
+
+
+# ----------------------------------------------------------------------
+# Property: apply_mapping round-trips exactly (fault-free bookkeeping
+# is what revocation accounting builds on)
+# ----------------------------------------------------------------------
+class TestApplyMappingRoundTrip:
+    @given(seed=st.integers(0, 10**6), n_failed=st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_apply_then_release_restores_state(self, seed, n_failed):
+        """apply_mapping → complete_service(each) restores every link's
+        occupancy and the free-resource pool bit for bit, including on
+        a degraded network."""
+        m = MRSIN(benes(8) if seed % 2 else omega(8))
+        for idx in range(n_failed):
+            m.fail_resource((seed + idx) % 8)
+        m.fail_link(seed % len(m.network.links))
+        for p in range(8):
+            m.submit(Request(p))
+        occupancy_before = [link.occupied for link in m.network.links]
+        free_before = [res.index for res in m.free_resources()]
+        mapping = OptimalScheduler().schedule(m)
+        m.apply_mapping(mapping)
+        for a in mapping.assignments:
+            m.complete_service(a.resource.index)
+        assert [link.occupied for link in m.network.links] == occupancy_before
+        assert [res.index for res in m.free_resources()] == free_before
+        assert m.severed_resources() == []
