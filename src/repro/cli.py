@@ -11,6 +11,8 @@ Examples
     python -m repro serve --network omega --rate 0.8 --horizon 200 --seed 7
     python -m repro chaos --network omega --ports 32 --ticks 2000 --seed 7
     python -m repro tokens --seed 31
+    python -m repro lint --stats
+    python -m repro typecheck
 
 Every command is a thin wrapper over the library API and prints the
 same tables the benchmark harness generates.
@@ -252,6 +254,55 @@ def cmd_tokens(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the invariant lint (R001–R005) over the given paths."""
+    from pathlib import Path
+
+    from repro.analysis import LintEngine, LintError, default_rules
+
+    rules = default_rules()
+    if args.select:
+        wanted = {r.strip().upper() for s in args.select for r in s.split(",")}
+        unknown = wanted - {r.id for r in rules}
+        if unknown:
+            raise SystemExit(f"error: unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.id in wanted]
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    engine = LintEngine(rules)
+    try:
+        report = engine.run(paths)
+    except LintError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        for f in report.findings:
+            print(f.render())
+        if args.stats or not report.findings:
+            stats = report.stats()
+            print(f"checked {stats['files_checked']} files: "
+                  f"{stats['findings']} finding(s), "
+                  f"{stats['suppressed']} suppressed")
+            if args.stats:
+                for rule_id, n in sorted(stats["by_rule"].items()):
+                    print(f"  {rule_id}: {n}")
+                for rule_id, n in sorted(stats["suppressed_by_rule"].items()):
+                    print(f"  {rule_id} (suppressed): {n}")
+    return report.exit_code
+
+
+def cmd_typecheck(args) -> int:
+    """Run the strict mypy gate (see repro.analysis.typing_gate)."""
+    from repro.analysis.typing_gate import run_typecheck
+
+    result = run_typecheck(strict_only=not args.all)
+    if result.output:
+        print(result.output)
+    if not result.available:
+        print("typecheck: SKIPPED (mypy unavailable)", file=sys.stderr)
+    return result.exit_code
+
+
 def cmd_report(args) -> int:
     """Compact paper-vs-measured report (a fast subset of benchmarks/)."""
     trials = args.trials
@@ -376,6 +427,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p)
     p.add_argument("--verbose", action="store_true", help="print every token move")
     p.set_defaults(func=cmd_tokens)
+
+    p = sub.add_parser("lint", help="invariant lint: R001-R005 over src")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: the repro package)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-rule hit and suppression counts")
+    p.add_argument("--select", action="append", default=[],
+                   help="comma-separated rule ids to run (default: all)")
+    p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("typecheck", help="strict mypy gate on flows/core/analysis")
+    p.add_argument("--all", action="store_true",
+                   help="check the whole package permissively, not just "
+                        "the strict subset")
+    p.set_defaults(func=cmd_typecheck)
 
     p = sub.add_parser("report", help="compact paper-vs-measured snapshot")
     p.add_argument("--trials", type=int, default=60)

@@ -126,7 +126,11 @@ class IncrementalFlowEngine:
         if self._net is None or self._dirty or not self._in_sync():
             self._build()
         net, problem = self._net, self._problem
-        assert net is not None and problem is not None  # for type checkers
+        if net is None or problem is None:
+            raise RuntimeError(
+                "incremental engine invariant broken: _build() left no "
+                "persistent network/problem behind"
+            )
         problem.request_of.clear()
         wanted: set[int] = set()
         for req in reqs:
@@ -185,7 +189,11 @@ class IncrementalFlowEngine:
         if self._net is None:
             return
         if mapping is self._pending_mapping:
-            assert self._pending is not None
+            if self._pending is None:
+                raise RuntimeError(
+                    "incremental engine invariant broken: a pending mapping "
+                    "was recorded without its pending flow paths"
+                )
             for _proc, res, arcs in self._pending:
                 for arc in arcs:
                     arc.lower = arc.flow

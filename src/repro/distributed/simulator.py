@@ -344,7 +344,11 @@ class DistributedScheduler:
             self._log(outcome, iteration, "resource", outcome.clocks,
                       f"token(r{token.rs.resource}) -> NS({ns.stage},{ns.index}) at out:{src.port}")
             return
-        assert kind == "ns"
+        if kind != "ns":
+            raise RuntimeError(
+                f"token architecture invariant broken: resource token at "
+                f"unexpected location kind {kind!r}; expected a node server"
+            )
         ns: NodeServer = token.location[1]
         entry = ns.available_entry()
         if entry is None:
@@ -373,7 +377,11 @@ class DistributedScheduler:
         else:
             # Reverse a backward (cancellation) request move: travel
             # downstream along the registered link.
-            assert link.index in registered
+            if link.index not in registered:
+                raise RuntimeError(
+                    "token architecture invariant broken: a cancellation "
+                    f"move traversed unregistered link {link.index}"
+                )
             downstream = link.dst
             nxt = nss[(downstream.stage, downstream.box)]
             token.location = ("ns", nxt)
@@ -445,13 +453,21 @@ class DistributedScheduler:
             if not rq.bonded:
                 continue
             links = [rq.link]
-            assert rq.link.index in registered
+            if rq.link.index not in registered:
+                raise RuntimeError(
+                    "token architecture invariant broken: bonded RQ "
+                    f"p{rq.processor} sits on unregistered link {rq.link.index}"
+                )
             while links[-1].dst.kind != "res":
                 dst = links[-1].dst
                 ns = nss[(dst.stage, dst.box)]
                 out_port = ns.pairs[dst.port]
                 nxt = ns.out_links[out_port]
-                assert nxt is not None and nxt.index in registered
+                if nxt is None or nxt.index not in registered:
+                    raise RuntimeError(
+                        "token architecture invariant broken: a registered "
+                        "path dead-ends before reaching a resource server"
+                    )
                 links.append(nxt)
             resource = links[-1].dst.box
             mapping.add(

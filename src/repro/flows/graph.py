@@ -60,22 +60,22 @@ class Arc:
     index: int
     tail: Node
     head: Node
-    capacity: float
+    capacity: int
     cost: float = 0.0
-    lower: float = 0
-    flow: float = 0
+    lower: int = 0
+    flow: int = 0
 
     @property
-    def residual_forward(self) -> float:
+    def residual_forward(self) -> int:
         """Extra flow this arc can still carry in its own direction."""
         return self.capacity - self.flow
 
     @property
-    def residual_backward(self) -> float:
+    def residual_backward(self) -> int:
         """Flow that could be cancelled (pushed against the arc)."""
         return self.flow - self.lower
 
-    def residual(self, forward: bool) -> float:
+    def residual(self, forward: bool) -> int:
         """Residual capacity in the given traversal direction."""
         return self.residual_forward if forward else self.residual_backward
 
@@ -128,9 +128,9 @@ class FlowNetwork:
         self,
         tail: Node,
         head: Node,
-        capacity: float,
+        capacity: int,
         cost: float = 0.0,
-        lower: float = 0.0,
+        lower: int = 0,
     ) -> Arc:
         """Add an arc ``tail -> head`` and return it.
 
@@ -153,6 +153,26 @@ class FlowNetwork:
         self._inc.pop(tail, None)
         self._inc.pop(head, None)
         return arc
+
+    def pop_arc(self, arc: Arc) -> None:
+        """Remove ``arc``, which must be the most recently added one.
+
+        Arc indices are stable identifiers, so arbitrary removal is
+        not offered; the only sanctioned deletion is unwinding a
+        temporary arc in LIFO order (e.g. the out-of-kilter return
+        arc).  Raises :class:`ValueError` when ``arc`` is not the
+        last arc of this network.
+        """
+        if not self.arcs or self.arcs[-1] is not arc:
+            raise ValueError(
+                f"pop_arc: {arc!r} is not the most recently added arc; "
+                "only LIFO removal keeps arc indices stable"
+            )
+        self.arcs.pop()
+        self._out[arc.tail].pop()
+        self._in[arc.head].pop()
+        self._inc.pop(arc.tail, None)
+        self._inc.pop(arc.head, None)
 
     # ------------------------------------------------------------------
     # Queries
@@ -221,7 +241,7 @@ class FlowNetwork:
         for arc in self.arcs:
             arc.flow = 0
 
-    def net_outflow(self, node: Node) -> float:
+    def net_outflow(self, node: Node) -> int:
         """Flow leaving minus flow entering ``node``.
 
         Positive at a source, negative at a sink, zero at conserved
@@ -231,7 +251,7 @@ class FlowNetwork:
         inn = sum(self.arcs[i].flow for i in self._in[node])
         return out - inn
 
-    def flow_value(self, source: Node) -> float:
+    def flow_value(self, source: Node) -> int:
         """Value of the current flow, measured at ``source``."""
         return self.net_outflow(source)
 

@@ -47,11 +47,11 @@ class MaxFlowResult:
         this equals ``value``.
     """
 
-    value: float
+    value: int
     augmentations: int
 
 
-def augment_along(path: list[tuple[Arc, bool]], amount: float) -> None:
+def augment_along(path: list[tuple[Arc, bool]], amount: int) -> None:
     """Advance ``amount`` units of flow along a residual path.
 
     ``path`` is a list of ``(arc, forward)`` residual moves; forward
@@ -67,7 +67,7 @@ def augment_along(path: list[tuple[Arc, bool]], amount: float) -> None:
             arc.flow -= amount
 
 
-def _bottleneck(path: list[tuple[Arc, bool]]) -> float:
+def _bottleneck(path: list[tuple[Arc, bool]]) -> int:
     """Residual capacity of a path: the minimum over its moves."""
     return min(arc.residual(forward) for arc, forward in path)
 
@@ -137,12 +137,12 @@ def _run(
     sink: Node,
     finder,
     counter: OpCounter | None,
-    flow_limit: float | None,
+    flow_limit: int | None,
 ) -> MaxFlowResult:
     if source not in net or sink not in net:
         # A terminal with no incident arcs simply admits no flow; the
         # transformations prune unreachable nodes, so tolerate this.
-        return MaxFlowResult(value=net.flow_value(source) if source in net else 0.0, augmentations=0)
+        return MaxFlowResult(value=net.flow_value(source) if source in net else 0, augmentations=0)
     value = net.flow_value(source)
     augmentations = 0
     while flow_limit is None or value < flow_limit:
@@ -167,7 +167,7 @@ def edmonds_karp(
     sink: Node,
     *,
     counter: OpCounter | None = None,
-    flow_limit: float | None = None,
+    flow_limit: int | None = None,
 ) -> MaxFlowResult:
     """Maximum flow by shortest augmenting paths (BFS).
 
@@ -184,7 +184,7 @@ def ford_fulkerson(
     sink: Node,
     *,
     counter: OpCounter | None = None,
-    flow_limit: float | None = None,
+    flow_limit: int | None = None,
 ) -> MaxFlowResult:
     """Maximum flow by depth-first augmenting-path search.
 

@@ -50,7 +50,7 @@ class MinCostResult:
         Number of shortest-path augmentations (or cycles cancelled).
     """
 
-    value: float
+    value: int
     cost: float
     augmentations: int
 
@@ -138,7 +138,7 @@ def min_cost_flow(
     source: Node,
     sink: Node,
     *,
-    target_flow: float | None = None,
+    target_flow: int | None = None,
     counter: OpCounter | None = None,
 ) -> MinCostResult:
     """Circulate flow from ``source`` to ``sink`` at minimum total cost.
@@ -155,21 +155,21 @@ def min_cost_flow(
     first when reusing a network.
     """
     for arc in net.arcs:
-        if arc.flow != 0.0:
+        if arc.flow != 0:
             raise ValueError("min_cost_flow requires a zero initial flow")
     if source not in net or sink not in net:
         # `is not None`, not truthiness: an explicit target_flow=0 is
         # still a demand on terminals that must exist.
         if target_flow is not None:
             raise InfeasibleFlowError("terminal missing from network")
-        return MinCostResult(0.0, 0.0, 0)
+        return MinCostResult(0, 0.0, 0)
     if any(arc.cost < 0 for arc in net.arcs):
         potential = _bellman_ford_potentials(net, source)
     else:
         potential = {node: 0.0 for node in net.nodes}
-    value = 0.0
+    value = 0
     augmentations = 0
-    while target_flow is None or value < target_flow - 1e-12:
+    while target_flow is None or value < target_flow:
         dist, pred = _dijkstra(net, source, potential, counter)
         if sink not in dist:
             if target_flow is not None:
@@ -248,7 +248,7 @@ def cycle_cancel_min_cost(
     source: Node,
     sink: Node,
     *,
-    target_flow: float | None = None,
+    target_flow: int | None = None,
     counter: OpCounter | None = None,
 ) -> MinCostResult:
     """Min-cost flow by Klein's negative-cycle canceling.
@@ -258,7 +258,7 @@ def cycle_cancel_min_cost(
     remain — at which point the flow is cost-optimal for its value.
     """
     mf = edmonds_karp(net, source, sink, counter=counter, flow_limit=target_flow)
-    if target_flow is not None and mf.value < target_flow - 1e-12:
+    if target_flow is not None and mf.value < target_flow:
         raise InfeasibleFlowError(
             f"only {mf.value} of {target_flow} units can be circulated"
         )

@@ -40,7 +40,7 @@ class MinCut:
     source_side: frozenset[Node]
     sink_side: frozenset[Node]
     arcs: tuple[Arc, ...]
-    capacity: float
+    capacity: int
 
 
 def residual_reachable(net: FlowNetwork, source: Node) -> set[Node]:

@@ -22,7 +22,6 @@ Implementation notes
 
 from __future__ import annotations
 
-import math
 from typing import Hashable
 
 from repro.flows.graph import Arc, FlowNetwork
@@ -40,17 +39,17 @@ class _TreeArc:
 
     __slots__ = ("index", "tail", "head", "capacity", "cost", "flow", "real")
 
-    def __init__(self, index: int, tail: Node, head: Node, capacity: float,
+    def __init__(self, index: int, tail: Node, head: Node, capacity: int,
                  cost: float, real: Arc | None) -> None:
         self.index = index
         self.tail = tail
         self.head = head
         self.capacity = capacity
         self.cost = cost
-        self.flow = 0.0
+        self.flow = 0
         self.real = real
 
-    def residual(self, forward: bool) -> float:
+    def residual(self, forward: bool) -> int:
         return self.capacity - self.flow if forward else self.flow
 
 
@@ -59,7 +58,7 @@ def network_simplex(
     source: Node,
     sink: Node,
     *,
-    target_flow: float,
+    target_flow: int,
     counter: OpCounter | None = None,
     max_pivots: int | None = None,
 ) -> MinCostResult:
@@ -73,12 +72,12 @@ def network_simplex(
     cannot be circulated (detected by artificial flow remaining).
     """
     for arc in net.arcs:
-        if arc.flow != 0.0:
+        if arc.flow != 0:
             raise ValueError("network_simplex requires a zero initial flow")
     if target_flow < 0:
         raise ValueError(f"negative target flow {target_flow}")
     if target_flow == 0:
-        return MinCostResult(0.0, 0.0, 0)
+        return MinCostResult(0, 0.0, 0)
     if source not in net or sink not in net:
         raise InfeasibleFlowError("terminal missing from network")
 
@@ -87,21 +86,24 @@ def network_simplex(
     for arc in net.arcs:
         arcs.append(_TreeArc(len(arcs), arc.tail, arc.head, arc.capacity, arc.cost, arc))
     nodes = list(net.nodes)
-    supply = {v: 0.0 for v in nodes}
-    supply[source] = float(target_flow)
-    supply[sink] = -float(target_flow)
+    supply = {v: 0 for v in nodes}
+    supply[source] = target_flow
+    supply[sink] = -target_flow
 
     big_m = (max((abs(a.cost) for a in arcs), default=0.0) + 1.0) * (len(nodes) + 1)
     root: Node = ("__ns_root__",)
     tree_arcs: set[int] = set()
     # Artificial arcs form the initial spanning tree, oriented to carry
-    # each node's supply toward/away from the root.
+    # each node's supply toward/away from the root.  Their capacity is
+    # a finite "effectively infinite" *integer* so every residual (and
+    # hence every pivot theta) stays exact — Theorem 2 integrality.
+    art_cap = max(target_flow, sum(min(a.capacity, target_flow) for a in arcs)) + 1
     for v in nodes:
         if supply[v] >= 0:
-            art = _TreeArc(len(arcs), v, root, capacity=math.inf, cost=big_m, real=None)
+            art = _TreeArc(len(arcs), v, root, capacity=art_cap, cost=big_m, real=None)
             art.flow = supply[v]
         else:
-            art = _TreeArc(len(arcs), root, v, capacity=math.inf, cost=big_m, real=None)
+            art = _TreeArc(len(arcs), root, v, capacity=art_cap, cost=big_m, real=None)
             art.flow = -supply[v]
         arcs.append(art)
         tree_arcs.add(art.index)
@@ -156,8 +158,8 @@ def network_simplex(
             if a.index in tree_arcs:
                 continue
             reduced = a.cost + pi[a.tail] - pi[a.head]
-            at_lower = a.flow <= EPS
-            at_upper = a.flow >= a.capacity - EPS
+            at_lower = a.flow <= 0
+            at_upper = a.flow >= a.capacity
             if at_lower and reduced < -EPS:
                 entering, entering_forward = a, True
                 break
@@ -192,7 +194,11 @@ def network_simplex(
                 if node in tail_nodes:
                     join = node
                     break
-        assert join is not None, "tree paths must meet"
+        if join is None:
+            raise RuntimeError(
+                "network simplex invariant broken: the tree paths from the "
+                "entering arc's endpoints never met at a common ancestor"
+            )
         tail_prefix = up_tail[: tail_nodes[join]]
 
         # Orient every cycle arc in the direction flow will move:
@@ -213,15 +219,20 @@ def network_simplex(
             moves.append((a, fwd))
 
         theta = min(a.residual(fwd) for a, fwd in moves)
-        # Leaving arc: the first blocking arc encountered (deterministic).
+        # Leaving arc: the first blocking arc encountered (deterministic;
+        # residuals are exact integers, so no tolerance is needed).
         leaving = None
         for a, fwd in moves:
-            if a.residual(fwd) <= theta + EPS:
+            if a.residual(fwd) <= theta:
                 leaving = a
                 break
         for a, fwd in moves:
             a.flow += theta if fwd else -theta
-        assert leaving is not None
+        if leaving is None:
+            raise RuntimeError(
+                "network simplex invariant broken: no blocking arc found on "
+                f"a pivot cycle of residual {theta}"
+            )
         if leaving is not entering:
             tree_arcs.remove(leaving.index)
             tree_arcs.add(entering.index)
@@ -229,11 +240,11 @@ def network_simplex(
 
     # Feasibility: artificial arcs must be empty.
     for a in arcs:
-        if a.real is None and a.flow > EPS:
+        if a.real is None and a.flow > 0:
             raise InfeasibleFlowError(
                 f"only {target_flow - a.flow} of {target_flow} units can be circulated"
             )
     for a in arcs:
         if a.real is not None:
-            a.real.flow = round(a.flow) if abs(a.flow - round(a.flow)) < 1e-7 else a.flow
+            a.real.flow = a.flow
     return MinCostResult(value=net.flow_value(source), cost=net.total_cost(), augmentations=pivots)

@@ -199,7 +199,7 @@ def out_of_kilter(
     source: Node,
     sink: Node,
     *,
-    target_flow: float,
+    target_flow: int,
     counter: OpCounter | None = None,
 ) -> MinCostResult:
     """Min-cost ``source``→``sink`` flow of value ``target_flow``.
@@ -216,12 +216,9 @@ def out_of_kilter(
     try:
         min_cost_circulation(net, counter=counter)
     finally:
-        # Detach the temporary return arc (it is by construction the
-        # last arc added; FlowNetwork has no public removal because
-        # arc indices are stable identifiers).
-        assert net.arcs[-1] is return_arc
-        net.arcs.pop()
-        net._out[sink].pop()
-        net._in[source].pop()
+        # Detach the temporary return arc; it is by construction the
+        # most recently added arc, which is the only removal
+        # FlowNetwork sanctions (arc indices are stable identifiers).
+        net.pop_arc(return_arc)
     augmentations = counter["augmentation"] if counter is not None else 0
     return MinCostResult(value=net.flow_value(source), cost=net.total_cost(), augmentations=augmentations)

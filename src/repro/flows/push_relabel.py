@@ -34,7 +34,7 @@ def push_relabel(
     sink: Node,
     *,
     counter: OpCounter | None = None,
-    flow_limit: float | None = None,
+    flow_limit: int | None = None,
 ) -> MaxFlowResult:
     """Maximum flow by FIFO push–relabel.
 
@@ -47,14 +47,14 @@ def push_relabel(
     could strand the budget on dead-end arcs).
     """
     for arc in net.arcs:
-        if arc.flow != 0.0:
+        if arc.flow != 0:
             raise ValueError("push_relabel requires a zero initial flow")
     if source not in net or sink not in net or source == sink:
-        return MaxFlowResult(value=0.0, augmentations=0)
+        return MaxFlowResult(value=0, augmentations=0)
 
     n = net.n_nodes
     height: dict[Node, int] = {v: 0 for v in net.nodes}
-    excess: dict[Node, float] = {v: 0.0 for v in net.nodes}
+    excess: dict[Node, int] = {v: 0 for v in net.nodes}
     height[source] = n
 
     # Saturate every source out-arc.
@@ -122,16 +122,14 @@ def push_relabel(
 
     value = net.flow_value(source)
     if flow_limit is not None and value > flow_limit:
-        # Peel off surplus source–sink paths (integral surplus on the
-        # unit networks this library produces; fractional surplus is
-        # handled by scaling the last peeled path).
+        # Peel off surplus source–sink paths; every decomposed path
+        # carries exactly one unit of the integral flow.
         surplus = value - flow_limit
         for path in net.decompose_paths(source, sink):
             if surplus <= 0:
                 break
-            amount = min(1.0, surplus)
             for arc in path:
-                arc.flow -= amount
-            surplus -= amount
+                arc.flow -= 1
+            surplus -= 1
         value = net.flow_value(source)
     return MaxFlowResult(value=value, augmentations=pushes)

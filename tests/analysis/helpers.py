@@ -1,0 +1,31 @@
+"""Shared fixture machinery for the static-analysis tests.
+
+Rules scope themselves by the path *under the repro package root*
+(``flows/graph.py``, ``service/server.py``), so every fixture snippet
+is written into a synthetic ``<tmp>/repro/<modpath>`` tree before the
+engine sees it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import LintEngine, LintReport
+
+
+def lint_snippet(
+    tmp_path: Path,
+    source: str,
+    modpath: str = "core/sample.py",
+    rules=None,
+) -> LintReport:
+    """Lint ``source`` as if it lived at ``src/repro/<modpath>``."""
+    target = tmp_path / "repro" / modpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return LintEngine(rules).run([target])
+
+
+def rule_ids(report: LintReport) -> list[str]:
+    """The rule ids of the report's active findings, in order."""
+    return [f.rule for f in report.findings]

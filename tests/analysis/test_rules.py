@@ -1,0 +1,231 @@
+"""One known-good and one known-bad fixture per lint rule (R001-R005)."""
+
+import textwrap
+
+from tests.analysis.helpers import lint_snippet, rule_ids
+
+
+def snippet(code: str) -> str:
+    return textwrap.dedent(code).lstrip("\n")
+
+
+class TestR001Assert:
+    BAD = snippet("""
+        def check(x):
+            assert x > 0, "positive"
+            return x
+    """)
+    GOOD = snippet("""
+        def check(x):
+            if x <= 0:
+                raise ValueError(f"x must be positive, got {x}")
+            return x
+    """)
+
+    def test_bad(self, tmp_path):
+        report = lint_snippet(tmp_path, self.BAD)
+        assert rule_ids(report) == ["R001"]
+        (f,) = report.findings
+        assert f.line == 2
+        assert "python -O" in f.message or "'-O'" in f.message
+
+    def test_good(self, tmp_path):
+        assert lint_snippet(tmp_path, self.GOOD).findings == []
+
+
+class TestR002Determinism:
+    BAD_IMPORT = snippet("""
+        import random
+
+        def pick(items):
+            return random.choice(items)
+    """)
+    BAD_WALL_CLOCK = snippet("""
+        import time
+
+        def stamp():
+            return time.time()
+    """)
+    BAD_UNSEEDED = snippet("""
+        import numpy as np
+
+        def rng():
+            return np.random.default_rng()
+    """)
+    BAD_LEGACY = snippet("""
+        import numpy as np
+
+        def draw():
+            return np.random.rand()
+    """)
+    BAD_SET_ITER = snippet("""
+        def schedule(pending):
+            for req in set(pending):
+                yield req
+    """)
+    BAD_SET_LITERAL_COMP = snippet("""
+        def order(a, b, c):
+            return [x for x in {a, b, c}]
+    """)
+    GOOD = snippet("""
+        import numpy as np
+
+        def pick(items, rng: np.random.Generator):
+            order = sorted(set(items))
+            return order[int(rng.integers(len(order)))]
+    """)
+
+    def test_bad_import(self, tmp_path):
+        assert rule_ids(lint_snippet(tmp_path, self.BAD_IMPORT)) == ["R002"]
+
+    def test_bad_wall_clock(self, tmp_path):
+        assert rule_ids(lint_snippet(tmp_path, self.BAD_WALL_CLOCK)) == ["R002"]
+
+    def test_bad_unseeded_rng(self, tmp_path):
+        assert rule_ids(lint_snippet(tmp_path, self.BAD_UNSEEDED)) == ["R002"]
+
+    def test_bad_legacy_global_rng(self, tmp_path):
+        assert rule_ids(lint_snippet(tmp_path, self.BAD_LEGACY)) == ["R002"]
+
+    def test_bad_set_iteration(self, tmp_path):
+        assert rule_ids(lint_snippet(tmp_path, self.BAD_SET_ITER)) == ["R002"]
+
+    def test_bad_set_literal_in_comprehension(self, tmp_path):
+        assert rule_ids(lint_snippet(tmp_path, self.BAD_SET_LITERAL_COMP)) == ["R002"]
+
+    def test_good(self, tmp_path):
+        # sorted(set(...)) restores a deterministic order; seeded
+        # Generator draws are the sanctioned randomness.
+        assert lint_snippet(tmp_path, self.GOOD).findings == []
+
+    def test_exempt_modules(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, self.BAD_UNSEEDED, modpath="util/rng.py"
+        ).findings == []
+        assert lint_snippet(
+            tmp_path, self.BAD_WALL_CLOCK, modpath="service/clock.py"
+        ).findings == []
+
+
+class TestR003Integrality:
+    BAD_ANNOTATION = snippet("""
+        from dataclasses import dataclass
+
+        @dataclass
+        class Arc:
+            capacity: float
+            flow: int = 0
+    """)
+    BAD_PARAM = snippet("""
+        def solve(net, target_flow: float):
+            return target_flow
+    """)
+    BAD_ASSIGN = snippet("""
+        def reset(arc):
+            arc.flow = 0.0
+    """)
+    BAD_COERCION = snippet("""
+        def widen(arc):
+            return float(arc.capacity)
+    """)
+    GOOD = snippet("""
+        def reset(arc):
+            arc.flow = 0
+            arc.cost = 0.5  # costs may stay float (min-cost needs them)
+            eps = 1e-9      # tolerances are not flow values
+            return eps
+    """)
+
+    def test_bad_annotation(self, tmp_path):
+        report = lint_snippet(tmp_path, self.BAD_ANNOTATION, modpath="flows/graph2.py")
+        assert rule_ids(report) == ["R003"]
+
+    def test_bad_param(self, tmp_path):
+        report = lint_snippet(tmp_path, self.BAD_PARAM, modpath="flows/solver2.py")
+        assert rule_ids(report) == ["R003"]
+
+    def test_bad_assign(self, tmp_path):
+        report = lint_snippet(tmp_path, self.BAD_ASSIGN, modpath="core/transform.py")
+        assert rule_ids(report) == ["R003"]
+
+    def test_bad_coercion(self, tmp_path):
+        report = lint_snippet(tmp_path, self.BAD_COERCION, modpath="core/incremental.py")
+        assert rule_ids(report) == ["R003"]
+
+    def test_good(self, tmp_path):
+        assert lint_snippet(tmp_path, self.GOOD, modpath="flows/clean.py").findings == []
+
+    def test_out_of_scope_module(self, tmp_path):
+        # Float arithmetic outside the flow modules is not R003's business.
+        assert lint_snippet(tmp_path, self.BAD_ASSIGN, modpath="sim/rates.py").findings == []
+
+
+class TestR004Encapsulation:
+    BAD = snippet("""
+        def detach(net):
+            net._out["sink"].pop()
+    """)
+    GOOD = snippet("""
+        class Engine:
+            def __init__(self):
+                self._cache = {}
+
+            def merge(self, other: "Engine"):
+                # Module-private: this module owns _cache.
+                self._cache.update(other._cache)
+    """)
+
+    def test_bad(self, tmp_path):
+        report = lint_snippet(tmp_path, self.BAD)
+        assert rule_ids(report) == ["R004"]
+        assert "_out" in report.findings[0].message
+
+    def test_good_same_module_access(self, tmp_path):
+        assert lint_snippet(tmp_path, self.GOOD).findings == []
+
+    def test_dunder_ignored(self, tmp_path):
+        src = snippet("""
+            def name_of(obj):
+                return obj.__class__.__name__
+        """)
+        assert lint_snippet(tmp_path, src).findings == []
+
+
+class TestR005AsyncioHygiene:
+    BAD_SLEEP = snippet("""
+        import time
+
+        async def tick(self):
+            time.sleep(1.0)
+    """)
+    BAD_SOLVER_LOOP = snippet("""
+        async def drain(self, scheduler, batches):
+            for batch in batches:
+                scheduler.schedule(batch)
+    """)
+    GOOD = snippet("""
+        async def tick_loop(self, scheduler, clock):
+            while True:
+                mapping = scheduler.schedule(self.pending)
+                self.apply(mapping)
+                await clock.sleep(self.interval)
+    """)
+
+    def test_bad_blocking_sleep(self, tmp_path):
+        report = lint_snippet(tmp_path, self.BAD_SLEEP, modpath="service/server2.py")
+        assert rule_ids(report) == ["R005"]
+        assert "time.sleep" in report.findings[0].message
+
+    def test_bad_solver_loop(self, tmp_path):
+        report = lint_snippet(tmp_path, self.BAD_SOLVER_LOOP, modpath="service/server2.py")
+        assert rule_ids(report) == ["R005"]
+        assert "yield point" in report.findings[0].message
+
+    def test_good_loop_with_await(self, tmp_path):
+        # One batched solve per tick with an await in the loop is the
+        # service's designed shape.
+        assert lint_snippet(tmp_path, self.GOOD, modpath="service/server2.py").findings == []
+
+    def test_out_of_scope_module(self, tmp_path):
+        # R005 is service/-only; sync code elsewhere may block freely.
+        assert lint_snippet(tmp_path, self.BAD_SLEEP, modpath="sim/runner2.py").findings == []

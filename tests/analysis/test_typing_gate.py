@@ -1,0 +1,106 @@
+"""The strict-typing gate: allowlist freeze, config sync, gated runner."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.typing_gate import (
+    EXIT_UNAVAILABLE,
+    PERMISSIVE_ALLOWLIST,
+    STRICT_FLAGS,
+    STRICT_PACKAGES,
+    mypy_available,
+    mypy_command,
+    run_typecheck,
+)
+
+# The recorded baseline.  Shrinking PERMISSIVE_ALLOWLIST (bringing a
+# module up to strictness) is a normal PR: delete the entry here too.
+# ADDING an entry is the failure mode this test exists to catch — new
+# code is strict by birth.
+ALLOWLIST_BASELINE = frozenset({
+    "cli",
+    "distributed.elements",
+    "distributed.logic",
+    "distributed.machine",
+    "distributed.monitor",
+    "distributed.simulator",
+    "sim.blocking",
+    "sim.queueing",
+    "sim.runner",
+    "sim.workload",
+    "networks.render",
+})
+
+
+def repro_root() -> Path:
+    return Path(repro.__file__).resolve().parent
+
+
+class TestAllowlist:
+    def test_allowlist_only_shrinks(self):
+        grown = set(PERMISSIVE_ALLOWLIST) - ALLOWLIST_BASELINE
+        assert not grown, (
+            f"PERMISSIVE_ALLOWLIST grew by {sorted(grown)}; new modules must "
+            "pass the strict gate instead of being allowlisted"
+        )
+
+    def test_allowlisted_modules_exist(self):
+        for dotted in PERMISSIVE_ALLOWLIST:
+            rel = Path(*dotted.split("."))
+            candidates = [
+                repro_root() / rel.with_suffix(".py"),
+                repro_root() / rel / "__init__.py",
+            ]
+            assert any(c.is_file() for c in candidates), (
+                f"allowlist entry '{dotted}' names no module; delete it"
+            )
+
+    def test_strict_packages_are_not_allowlisted(self):
+        for dotted in PERMISSIVE_ALLOWLIST:
+            top = dotted.split(".")[0]
+            assert top not in STRICT_PACKAGES, (
+                f"'{dotted}' is inside strict package '{top}'"
+            )
+
+    def test_pyproject_mirrors_typing_gate(self):
+        """pyproject's mypy overrides stay in sync with the constants."""
+        tomllib = pytest.importorskip("tomllib")
+        pyproject = repro_root().parent.parent / "pyproject.toml"
+        if not pyproject.is_file():
+            pytest.skip("installed without a source checkout")
+        cfg = tomllib.loads(pyproject.read_text())
+        overrides = cfg["tool"]["mypy"]["overrides"]
+        strict = next(o for o in overrides if not o.get("ignore_errors"))
+        assert set(strict["module"]) == {f"repro.{p}.*" for p in STRICT_PACKAGES}
+        permissive = next(o for o in overrides if o.get("ignore_errors"))
+        assert set(permissive["module"]) == {f"repro.{m}" for m in PERMISSIVE_ALLOWLIST}
+
+
+class TestRunner:
+    def test_command_shape(self):
+        cmd = mypy_command()
+        assert cmd[:3] == (sys.executable, "-m", "mypy")
+        for flag in STRICT_FLAGS:
+            assert flag in cmd
+        for pkg in STRICT_PACKAGES:
+            assert any(arg.endswith(pkg) for arg in cmd)
+
+    def test_run_typecheck_is_gated(self):
+        """Never raises: passes, fails, or reports unavailability."""
+        result = run_typecheck()
+        if not mypy_available():
+            assert result.exit_code == EXIT_UNAVAILABLE
+            assert not result.available
+            assert "mypy" in result.output
+        else:
+            assert result.exit_code in (0, 1, 2)
+            assert result.available
+
+    @pytest.mark.skipif(not mypy_available(), reason="mypy not installed")
+    def test_strict_subset_passes_mypy(self):
+        """The CI gate: flows/, core/, analysis/ are mypy-clean."""
+        result = run_typecheck(strict_only=True)
+        assert result.exit_code == 0, f"mypy findings:\n{result.output}"

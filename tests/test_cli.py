@@ -112,6 +112,71 @@ class TestCommands:
         with pytest.raises(SystemExit, match="ticks"):
             main(["chaos", "--ticks", "0"])
 
+    def test_lint_real_tree_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_lint_reports_findings_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(x):\n    assert x\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "bad.py:2" in out
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n")
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["findings"] == 1
+        assert doc["findings"][0]["rule"] == "R002"
+
+    def test_lint_stats_summary(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import random\n"
+            "def f(x):\n"
+            "    assert x  # repro: noqa R001 -- CLI stats fixture\n"
+        )
+        assert main(["lint", "--stats", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R002: 1" in out
+        assert "R001 (suppressed): 1" in out
+        assert "1 suppressed" in out
+
+    def test_lint_select_subset(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\ndef f(x):\n    assert x\n")
+        assert main(["lint", "--select", "R002", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R002" in out and "R001" not in out
+
+    def test_lint_unknown_rule_rejected(self):
+        with pytest.raises(SystemExit, match="unknown rule"):
+            main(["lint", "--select", "R999"])
+
+    def test_lint_missing_path_rejected(self):
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["lint", "/no/such/path/at/all"])
+
+    def test_typecheck_gated(self, capsys):
+        """Exit 0/1/2 with mypy installed, EXIT_UNAVAILABLE without."""
+        from repro.analysis.typing_gate import EXIT_UNAVAILABLE, mypy_available
+
+        code = main(["typecheck"])
+        if mypy_available():
+            assert code in (0, 1, 2)
+        else:
+            assert code == EXIT_UNAVAILABLE
+            assert "mypy" in capsys.readouterr().out
+
     def test_serve_faulted_service_exits_nonzero(self, monkeypatch):
         """A faulted run must surface as a one-line diagnostic and a
         nonzero exit, not a metrics table from a broken service."""
