@@ -1,0 +1,153 @@
+"""WIRE — throughput vs tail latency over real localhost TCP.
+
+The wire layer's claim: putting the batched allocation service behind
+an actual socket keeps the paper's allocation discipline intact while
+exposing an operational frontier — offered load vs p50/p99/p999
+acquire latency.  An **open-loop** seeded generator offers each load
+point (closed-loop drivers adapt to the server and hide the tail), so
+the measured percentiles are honest queueing delay: flat and
+tick-dominated while the network has headroom, growing as offered
+load approaches the topology's service capacity.
+
+Sweeps three offered loads across three 16-port topologies (omega,
+benes, clos) and records the frontier in ``BENCH_wire.json``.  Every
+run is a real TCP client/server pair in one event loop with a seeded
+Poisson arrival schedule — byte-identical traffic per (load, seed).
+
+Timed kernel: one short open-loop run against omega-16.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+import pytest
+
+from repro.core import MRSIN
+from repro.networks import benes, clos, omega
+from repro.networks.topology import MultistageNetwork
+from repro.service.server import AllocationService, ServiceConfig
+from repro.util.tables import Table
+from repro.wire import WireServer
+from repro.wire.loadgen import LoadGenConfig, run_loadgen
+
+#: Aggregate offered loads, requests/second: comfortable, busy, saturating.
+LOADS = (200.0, 600.0, 1200.0)
+PORTS = 16
+DURATION = 1.0
+SEED = 17
+TICK = 0.005
+MEAN_HOLD = 0.01
+
+TOPOLOGIES: dict[str, Callable[[], MultistageNetwork]] = {
+    "omega-16": lambda: omega(PORTS),
+    "benes-16": lambda: benes(PORTS),
+    "clos-16": lambda: clos(PORTS // 2, 2, PORTS // 2),
+}
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_wire.json"
+
+
+def _one_point(build: Callable[[], MultistageNetwork], rate: float) -> dict[str, Any]:
+    """One (topology, offered load) run over real TCP; returns the report."""
+
+    async def scenario() -> dict[str, Any]:
+        service = AllocationService(
+            MRSIN(build()),
+            config=ServiceConfig(
+                tick_interval=TICK, queue_limit=512, default_timeout=2.0
+            ),
+        )
+        config = LoadGenConfig(
+            rate=rate,
+            duration=DURATION,
+            processors=PORTS,
+            arrival="poisson",
+            connections=4,
+            seed=SEED,
+            request_timeout=2.0,
+            mean_hold=MEAN_HOLD,
+        )
+        async with service:
+            async with WireServer(service, max_connections=8) as server:
+                host, port = server.address
+                report = await run_loadgen(host, port, config)
+                wire = server.snapshot()
+        point = report.to_json()
+        point["wire_protocol_errors"] = wire["protocol_errors"]
+        point["leases_granted"] = wire["leases_granted"]
+        point["active_leases_after"] = service.active_leases
+        return point
+
+    return asyncio.run(scenario())
+
+
+@pytest.mark.benchmark(group="wire")
+def test_wire_throughput_tail_frontier(benchmark, capsys):
+    results: dict[str, dict[str, dict[str, Any]]] = {}
+    for name, build in TOPOLOGIES.items():
+        results[name] = {
+            f"rate={rate:g}": _one_point(build, rate) for rate in LOADS
+        }
+
+    table = Table(
+        ["topology", "offered/s", "completed", "rej", "t/o",
+         "thru/s", "p50 ms", "p99 ms", "p999 ms"],
+        title=(
+            f"WIRE: open-loop offered load vs tail latency "
+            f"(16 ports, {DURATION:g}s, tick {TICK:g}s, TCP loopback)"
+        ),
+    )
+    for name, by_rate in results.items():
+        for label, point in by_rate.items():
+            latency = point["latency_ms"]
+            table.add_row(
+                name, label.removeprefix("rate="), point["completed"],
+                point["rejected"], point["timed_out"],
+                f"{point['throughput_per_sec']:.0f}",
+                f"{latency['p50']:.2f}", f"{latency['p99']:.2f}",
+                f"{latency['p999']:.2f}",
+            )
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    BASELINE_PATH.write_text(json.dumps({
+        "benchmark": "bench_wire",
+        "transport": "tcp-loopback",
+        "ports": PORTS,
+        "duration": DURATION,
+        "tick_interval": TICK,
+        "mean_hold": MEAN_HOLD,
+        "seed": SEED,
+        "arrival": "poisson",
+        "loads": list(LOADS),
+        "topologies": results,
+    }, indent=2) + "\n")
+
+    for name, by_rate in results.items():
+        for label, point in by_rate.items():
+            where = f"{name} {label}"
+            # The wire itself must be clean at every load point.
+            assert point["wire_protocol_errors"] == 0, where
+            assert point["errors"] == 0, where
+            assert point["active_leases_after"] == 0, where
+            assert point["completed"] > 0, where
+            assert (
+                point["completed"] + point["rejected"] + point["timed_out"]
+                == point["offered"]
+            ), where
+            latency = point["latency_ms"]
+            assert latency["p50"] <= latency["p99"] <= latency["p999"], where
+        # More offered load means more completed work until saturation:
+        # the middle point must clearly out-complete the comfortable one.
+        low = by_rate[f"rate={LOADS[0]:g}"]["completed"]
+        mid = by_rate[f"rate={LOADS[1]:g}"]["completed"]
+        assert mid > 1.5 * low, name
+
+    def kernel():
+        return _one_point(TOPOLOGIES["omega-16"], LOADS[0])["completed"]
+
+    benchmark(kernel)

@@ -15,8 +15,8 @@ R002 scheduling is deterministic (no wall clock, no unseeded RNG,
 R003 flows stay integral — Theorem 2 (no float literals/coercions
      touching ``flow``/``capacity``/``lower`` in flow arithmetic)
 R004 module encapsulation (no cross-module ``_private`` reach-ins)
-R005 asyncio hygiene in ``service/`` (no blocking calls / solver loops
-     without a yield point inside ``async def``)
+R005 asyncio hygiene in ``service/`` and ``wire/`` (no blocking calls /
+     solver loops without a yield point inside ``async def``)
 ==== =====================================================================
 
 The rule catalog with rationale and examples lives in
@@ -363,7 +363,8 @@ class AsyncioHygiene(Rule):
     """R005 — the service event loop must never be silently starved.
 
     One blocked coroutine stalls *every* lease in flight.  Inside
-    ``async def`` in ``service/`` this rule flags:
+    ``async def`` in ``service/`` or ``wire/`` (the TCP front-end runs
+    on the same loop as the tick loop) this rule flags:
 
     - known blocking calls (``time.sleep``, ``os.system``,
       ``subprocess.*``, ``socket.*``, ``urllib.request.*``);
@@ -375,7 +376,7 @@ class AsyncioHygiene(Rule):
     """
 
     id = "R005"
-    title = "asyncio hygiene in service/"
+    title = "asyncio hygiene in service/ and wire/"
 
     BLOCKING = {
         "time.sleep", "os.system", "os.wait", "input",
@@ -390,7 +391,7 @@ class AsyncioHygiene(Rule):
     }
 
     def applies(self, modpath: str) -> bool:
-        return modpath.startswith("service/")
+        return modpath.startswith(("service/", "wire/"))
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

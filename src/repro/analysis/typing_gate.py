@@ -7,8 +7,9 @@ auditable:
 - :data:`STRICT_PACKAGES` — subpackages held to the strict flag set
   (:data:`STRICT_FLAGS`).  The flow/scheduling core is here because a
   type error in flow arithmetic is an integrality bug waiting to
-  happen (Theorem 2), and ``analysis`` is here because a linter that
-  doesn't pass its own gate convinces nobody.
+  happen (Theorem 2), ``analysis`` is here because a linter that
+  doesn't pass its own gate convinces nobody, and ``wire`` is here
+  because new subsystems are strict from birth.
 - :data:`PERMISSIVE_ALLOWLIST` — modules temporarily excused from
   strictness.  The list is frozen by
   ``tests/analysis/test_typing_gate.py`` against a recorded baseline:
@@ -45,7 +46,7 @@ __all__ = [
 EXIT_UNAVAILABLE = 3
 
 #: Subpackages (relative to ``repro``) checked with :data:`STRICT_FLAGS`.
-STRICT_PACKAGES: tuple[str, ...] = ("flows", "core", "analysis")
+STRICT_PACKAGES: tuple[str, ...] = ("flows", "core", "analysis", "wire")
 
 #: The strict flag set.  A curated subset of ``--strict``: everything
 #: that catches real defects in annotated code, minus the flags that

@@ -10,6 +10,8 @@ Examples
     python -m repro queueing --network omega --rate 0.8 --policy optimal
     python -m repro serve --network omega --rate 0.8 --horizon 200 --seed 7
     python -m repro chaos --network omega --ports 32 --ticks 2000 --seed 7
+    python -m repro wire-serve --network omega --ports 16 --port 7586
+    python -m repro loadgen --port 7586 --rate 300 --duration 5 --seed 7
     python -m repro tokens --seed 31
     python -m repro lint --stats
     python -m repro typecheck
@@ -212,7 +214,132 @@ def cmd_serve(args) -> int:
         # One line, nonzero exit: the run's snapshot is from a broken
         # service and must not be mistaken for a result.
         raise SystemExit(f"error: service faulted mid-run: {exc.__cause__!r}") from exc
-    print(result.render())
+    if args.json:
+        import json
+
+        print(json.dumps(result.snapshot, sort_keys=True))
+    else:
+        print(result.render())
+    return 0
+
+
+def cmd_wire_serve(args) -> int:
+    """Serve an allocation service over TCP (see repro.wire)."""
+    import asyncio
+    import json
+
+    from repro.core import MRSIN
+    from repro.service.server import AllocationService, ServiceConfig
+    from repro.util.rng import make_rng
+    from repro.wire.server import WireServer
+
+    builder = _topology_builder(args.network, args.ports)
+    try:
+        config = ServiceConfig(
+            tick_interval=args.tick,
+            max_batch=args.max_batch,
+            queue_limit=args.queue_limit,
+            degrade_watermark=args.watermark,
+            default_timeout=args.timeout,
+            fault_budget=args.fault_budget,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    async def _run() -> dict:
+        service = AllocationService(MRSIN(builder(args.ports)), config=config)
+        injector = None
+        if args.fault_rate > 0:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(
+                service.mrsin,
+                rng=make_rng(args.seed),
+                fault_rate=args.fault_rate,
+                transient_fraction=args.transient,
+                mean_repair=args.mean_repair,
+            )
+        async with service:
+            async with WireServer(
+                service,
+                host=args.host,
+                port=args.port,
+                max_connections=args.max_connections,
+            ) as server:
+                host, port = server.address
+                print(
+                    f"wire-serve: {args.network}-{args.ports} listening on "
+                    f"{host}:{port}",
+                    flush=True,
+                )
+                clock = service.clock
+                # The injector's Poisson process starts at t=0; feed it
+                # elapsed serve time, not the loop clock's arbitrary epoch.
+                started = clock.now()
+                end = None if args.duration is None else started + args.duration
+                while end is None or clock.now() < end:
+                    await clock.sleep(config.tick_interval)
+                    if injector is not None:
+                        injector.inject(service, clock.now() - started)
+                await server.drain()
+                snapshot = service.snapshot()
+                snapshot["wire"] = server.snapshot()
+                return snapshot
+
+    try:
+        snapshot = asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print("wire-serve: interrupted", file=sys.stderr)
+        return 130
+    except OSError as exc:
+        raise SystemExit(f"error: cannot listen on {args.host}:{args.port}: {exc}")
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True))
+    else:
+        table = Table(["metric", "value"],
+                      title=f"wire-serve: {args.network}-{args.ports}")
+        for key in ("ticks", "submitted", "allocated", "released",
+                    "timed_out", "rejected_full", "revoked"):
+            table.add_row(key, snapshot[key])
+        for key, value in sorted(snapshot["wire"].items()):
+            table.add_row(f"wire {key}", value)
+        print(table.render())
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Open-loop load generation against a running wire-serve."""
+    import asyncio
+    import json
+
+    from repro.wire.client import WireConnectionError
+    from repro.wire.loadgen import LoadGenConfig, run_loadgen
+
+    try:
+        config = LoadGenConfig(
+            rate=args.rate,
+            duration=args.duration,
+            processors=args.processors,
+            arrival=args.arrival,
+            connections=args.connections,
+            seed=args.seed,
+            request_timeout=args.timeout,
+            mean_hold=args.hold,
+            transmission=args.transmission,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    try:
+        report = asyncio.run(run_loadgen(args.host, args.port, config))
+    except WireConnectionError as exc:
+        raise SystemExit(
+            f"error: cannot reach {args.host}:{args.port}: {exc} "
+            f"(is `repro wire-serve` running?)"
+        ) from exc
+    if args.json:
+        print(json.dumps(report.to_json(), sort_keys=True))
+    else:
+        print(report.render())
     return 0
 
 
@@ -404,7 +531,65 @@ def build_parser() -> argparse.ArgumentParser:
                    help="circuits pre-established before the run")
     p.add_argument("--priority-levels", type=int, default=1,
                    help="draw request priorities from 1..K (K>1 uses min-cost)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the final snapshot as one JSON object")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("wire-serve",
+                       help="serve an allocation service over TCP")
+    p.add_argument("--network", choices=sorted(TOPOLOGIES), default="omega")
+    p.add_argument("--ports", type=int, default=16, help="network size N")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = pick a free one, printed on start)")
+    p.add_argument("--tick", type=float, default=0.01,
+                   help="batching tick interval, seconds")
+    p.add_argument("--max-batch", type=int, default=None)
+    p.add_argument("--queue-limit", type=int, default=256)
+    p.add_argument("--watermark", type=int, default=None,
+                   help="queue depth that degrades ticks to the greedy heuristic")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="default per-request deadline, seconds")
+    p.add_argument("--max-connections", type=int, default=64)
+    p.add_argument("--duration", type=float, default=None,
+                   help="seconds to serve (default: until interrupted)")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="component faults per second (0 = no injection)")
+    p.add_argument("--transient", type=float, default=0.85,
+                   help="fraction of faults that self-repair")
+    p.add_argument("--mean-repair", type=float, default=1.0,
+                   help="mean time-to-repair for transient faults, seconds")
+    p.add_argument("--fault-budget", type=int, default=8,
+                   help="consecutive failing ticks absorbed before faulting")
+    p.add_argument("--seed", type=int, default=0, help="fault-injection seed")
+    p.add_argument("--json", action="store_true",
+                   help="emit the final snapshot as one JSON object")
+    p.set_defaults(func=cmd_wire_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="open-loop load generator against wire-serve")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="aggregate offered load, requests/second")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="seconds of arrivals to offer")
+    p.add_argument("--processors", type=int, default=16,
+                   help="processor indices drawn from [0, K)")
+    p.add_argument("--arrival", choices=["poisson", "bursty", "diurnal"],
+                   default="poisson")
+    p.add_argument("--connections", type=int, default=4,
+                   help="client connections (requests pipeline within each)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-request deadline, seconds")
+    p.add_argument("--hold", type=float, default=0.05,
+                   help="mean lease hold time, seconds (exponential)")
+    p.add_argument("--transmission", type=float, default=0.0,
+                   help="circuit-hold before END_TX (0 skips END_TX)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as one JSON object")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("chaos", help="fault/repair churn with invariant checks")
     p.add_argument("--network", choices=["omega", "benes", "clos"], default="omega")
@@ -438,7 +623,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated rule ids to run (default: all)")
     p.set_defaults(func=cmd_lint)
 
-    p = sub.add_parser("typecheck", help="strict mypy gate on flows/core/analysis")
+    p = sub.add_parser("typecheck",
+                       help="strict mypy gate on flows/core/analysis/wire")
     p.add_argument("--all", action="store_true",
                    help="check the whole package permissively, not just "
                         "the strict subset")

@@ -15,13 +15,23 @@ from typing import Any
 
 from repro.distributed.monitor import INSTRUCTION_WEIGHTS
 from repro.util.counters import OpCounter
+from repro.util.histogram import LatencyHistogram
 from repro.util.tables import Table
 
 __all__ = ["ServiceMetrics", "WAIT_BUCKET_TICKS"]
 
 # Wait-time histogram bucket upper bounds, in units of the tick
 # interval (the natural quantum: requests are only granted at ticks).
+# Kept as the reporting shape; storage is a log-bucketed
+# :class:`~repro.util.histogram.LatencyHistogram` in units of
+# 1/1024 tick, whose power-of-two bucket boundaries make these
+# tick-multiple cuts exact (see :meth:`ServiceMetrics.wait_histogram`).
 WAIT_BUCKET_TICKS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, math.inf)
+
+#: Histogram sub-tick resolution: waits are recorded in 1/1024ths of a
+#: tick, so every legacy bucket bound ``b`` sits on the power-of-two
+#: boundary ``b * 1024`` and bucket counts stay exact.
+UNITS_PER_TICK = 1024
 
 
 class ServiceMetrics:
@@ -50,7 +60,7 @@ class ServiceMetrics:
         self._queue_depth_sum = 0
         self._batch_sum = 0
         self._wait_sum = 0.0
-        self._wait_hist = [0] * len(WAIT_BUCKET_TICKS)
+        self.wait_hist = LatencyHistogram()
 
     # ------------------------------------------------------------------
     # Recording
@@ -69,14 +79,18 @@ class ServiceMetrics:
         self.timed_out += 1
 
     def record_allocation(self, wait: float) -> None:
-        """A request was granted after waiting ``wait`` time units."""
+        """A request was granted after waiting ``wait`` time units.
+
+        The wait is stored in integer 1/1024-tick units, shifted down
+        by one (``ceil(ticks * 1024) - 1``) so that the legacy bucket
+        predicate "ticks <= b" becomes exactly "units < 1024 * b" — a
+        power-of-two cut the log-bucketed histogram answers exactly.
+        """
         self.allocated += 1
         self._wait_sum += wait
         ticks = wait / self.tick_interval if self.tick_interval > 0 else wait
-        for i, bound in enumerate(WAIT_BUCKET_TICKS):
-            if ticks <= bound:
-                self._wait_hist[i] += 1
-                break
+        units = max(math.ceil(ticks * UNITS_PER_TICK) - 1, 0)
+        self.wait_hist.record(units)
 
     def record_release(self) -> None:
         """A lease was released (resource freed)."""
@@ -126,12 +140,35 @@ class ServiceMetrics:
         return self._queue_depth_sum / self.ticks if self.ticks else 0.0
 
     def wait_histogram(self) -> dict[str, int]:
-        """Granted-request waits, bucketed by tick multiples."""
+        """Granted-request waits, bucketed by tick multiples.
+
+        Labels and counts are identical to the historic fixed-bucket
+        implementation: each cut ``b * 1024`` units is a power of two,
+        where :meth:`LatencyHistogram.count_below` is exact.
+        """
         hist: dict[str, int] = {}
-        for bound, count in zip(WAIT_BUCKET_TICKS, self._wait_hist):
-            label = f"<= {bound:g} ticks" if math.isfinite(bound) else "> 32 ticks"
-            hist[label] = count
+        below_prev = 0
+        for bound in WAIT_BUCKET_TICKS:
+            if math.isfinite(bound):
+                below = self.wait_hist.count_below(int(bound) * UNITS_PER_TICK)
+                hist[f"<= {bound:g} ticks"] = below - below_prev
+                below_prev = below
+            else:
+                hist["> 32 ticks"] = self.wait_hist.count - below_prev
         return hist
+
+    def wait_percentiles(self) -> dict[str, float]:
+        """p50/p90/p99/p999 granted-request wait, in ticks.
+
+        Each quantile is resolved on the unit histogram and mapped back
+        through the recording shift (``units + 1`` upper-bounds
+        ``ticks * 1024``), so the figure is a tight upper bound at the
+        histogram's log-bucket resolution.
+        """
+        return {
+            label: (value + 1) / UNITS_PER_TICK
+            for label, value in self.wait_hist.percentiles().items()
+        }
 
     def snapshot(self) -> dict[str, Any]:
         """All metrics as a plain dict (JSON-serialisable)."""
@@ -152,6 +189,7 @@ class ServiceMetrics:
             "mean_queue_depth": self.mean_queue_depth,
             "max_queue_depth": self.max_queue_depth,
             "wait_histogram": self.wait_histogram(),
+            "wait_percentiles": self.wait_percentiles(),
             "solver_ops": dict(sorted(self.counter.counts.items())),
             "solver_instructions": self.counter.total(INSTRUCTION_WEIGHTS),
         }
@@ -172,6 +210,8 @@ class ServiceMetrics:
         table.add_row("max_queue_depth", snap["max_queue_depth"])
         for label, count in snap["wait_histogram"].items():
             table.add_row(f"wait {label}", count)
+        for label, ticks in snap["wait_percentiles"].items():
+            table.add_row(f"wait {label} (ticks)", f"{ticks:.3f}")
         table.add_row("solver_instructions", f"{snap['solver_instructions']:.0f}")
         if snap["allocated"]:
             table.add_row(

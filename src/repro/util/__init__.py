@@ -8,5 +8,13 @@ and the standard library.
 from repro.util.rng import make_rng, spawn_rngs
 from repro.util.tables import Table, format_table
 from repro.util.counters import OpCounter
+from repro.util.histogram import LatencyHistogram
 
-__all__ = ["make_rng", "spawn_rngs", "Table", "format_table", "OpCounter"]
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "Table",
+    "format_table",
+    "OpCounter",
+    "LatencyHistogram",
+]

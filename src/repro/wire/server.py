@@ -1,0 +1,456 @@
+"""The TCP front-end: :class:`WireServer` serves an allocation service.
+
+One asyncio server, one task per connection, one task per in-flight
+ACQUIRE — the batching/ticking stays entirely inside
+:class:`~repro.service.server.AllocationService`; this layer only
+translates frames to service calls and leases back to frames.
+
+Lease custody is **connection-scoped**: every lease granted over a
+connection is tracked against it, and a disconnect (clean or not)
+auto-releases whatever the client still holds — a crashed client can
+never leak resources.  A fault that revokes a held lease is *pushed*
+to the holder as a ``REVOKED`` frame (request id
+:data:`~repro.wire.protocol.PUSH_ID`), mirroring
+``lease.revocation`` for in-process holders.
+
+Shutdown is graceful: :meth:`WireServer.drain` rejects new ACQUIREs
+(``REJECTED`` with reason ``"draining"``) while in-flight ones keep
+ticking to completion; :meth:`WireServer.close` then tears down
+connections, releasing any leases still held.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.requests import Request
+from repro.service.server import (
+    AllocationError,
+    AllocationRejected,
+    AllocationService,
+    AllocationTimeout,
+    Lease,
+    LeaseRevoked,
+    ServiceClosed,
+)
+from repro.wire.protocol import (
+    PUSH_ID,
+    REQUEST_KINDS,
+    Frame,
+    ProtocolError,
+    decode,
+    encode,
+    make_error,
+    make_lease,
+    make_ok,
+    make_pong,
+    make_rejected,
+    make_revoked,
+    make_timeout,
+)
+
+__all__ = ["WireServer"]
+
+
+@dataclass
+class _Connection:
+    """Per-connection state: stream ends, lease custody, task registry."""
+
+    conn_id: int
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    leases: dict[int, Lease] = field(default_factory=dict)
+    watchers: dict[int, asyncio.Task[None]] = field(default_factory=dict)
+    tasks: set[asyncio.Task[None]] = field(default_factory=set)
+    revoked_ids: set[int] = field(default_factory=set)
+    closed: bool = False
+
+
+class WireServer:
+    """Serve an :class:`AllocationService` over newline-framed TCP.
+
+    Parameters
+    ----------
+    service:
+        The service to front.  The caller owns its lifecycle (start it
+        before :meth:`start`, close it after :meth:`close`); the wire
+        layer never ticks it.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see
+        :attr:`address` after :meth:`start`).
+    max_connections:
+        Guard on concurrent connections; excess connections get one
+        ``ERROR`` frame and are closed before reading anything.
+    """
+
+    def __init__(
+        self,
+        service: AllocationService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = 64,
+    ) -> None:
+        if max_connections < 1:
+            raise ValueError(f"max_connections must be >= 1, got {max_connections}")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: dict[int, _Connection] = {}
+        self._conn_ids = 0
+        self._draining = False
+        self._closed = False
+        # Observability counters (the soak test's invariants).
+        self.protocol_errors = 0
+        self.connections_accepted = 0
+        self.connections_refused = 0
+        self.frames_received = 0
+        self.leases_granted = 0
+        self.leases_auto_released = 0
+        self.revocations_pushed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._closed:
+            raise RuntimeError("WireServer is closed")
+        if self._server is not None:
+            raise RuntimeError("WireServer already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("WireServer not started")
+        sockets = self._server.sockets
+        if not sockets:
+            raise RuntimeError("WireServer has no listening socket")
+        name = sockets[0].getsockname()
+        return (str(name[0]), int(name[1]))
+
+    @property
+    def open_connections(self) -> int:
+        """Connections currently being served."""
+        return len(self._connections)
+
+    @property
+    def draining(self) -> bool:
+        """Whether new ACQUIREs are being rejected."""
+        return self._draining
+
+    def pending_acquires(self) -> int:
+        """ACQUIRE handler tasks not yet finished (drain's wait set)."""
+        return sum(
+            sum(1 for t in conn.tasks if not t.done())
+            for conn in self._connections.values()
+        )
+
+    async def drain(self) -> None:
+        """Stop admitting new ACQUIREs; wait out the in-flight ones.
+
+        Connections stay open and RELEASE/END_TX/PING/STATS keep
+        working — clients get to finish and tear down their own leases.
+        The service must keep ticking while this awaits, or in-flight
+        acquires can only end by deadline.
+        """
+        self._draining = True
+        pending = [
+            task
+            for conn in self._connections.values()
+            for task in list(conn.tasks)
+        ]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def close(self) -> None:
+        """Drain, then drop every connection (releasing held leases)."""
+        if self._closed:
+            return
+        await self.drain()
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections.values()):
+            await self._teardown(conn)
+
+    async def __aenter__(self) -> "WireServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._closed or len(self._connections) >= self.max_connections:
+            self.connections_refused += 1
+            try:
+                writer.write(encode(make_error(
+                    PUSH_ID,
+                    f"server refusing connections "
+                    f"({'closed' if self._closed else 'at max_connections'})",
+                )))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        self._conn_ids += 1
+        conn = _Connection(conn_id=self._conn_ids, reader=reader, writer=writer)
+        self._connections[conn.conn_id] = conn
+        self.connections_accepted += 1
+        try:
+            await self._serve_connection(conn)
+        finally:
+            await self._teardown(conn)
+
+    async def _serve_connection(self, conn: _Connection) -> None:
+        while not conn.closed:
+            try:
+                line = await conn.reader.readline()
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return  # client closed its end
+            if not line.strip():
+                continue
+            self.frames_received += 1
+            try:
+                frame = decode(line)
+            except ProtocolError as exc:
+                self.protocol_errors += 1
+                await self._send(conn, make_error(PUSH_ID, f"bad frame: {exc}"))
+                continue
+            if frame.kind not in REQUEST_KINDS:
+                self.protocol_errors += 1
+                await self._send(conn, make_error(
+                    frame.request_id,
+                    f"expected a request frame, got {frame.kind}",
+                ))
+                continue
+            await self._dispatch(conn, frame)
+
+    async def _dispatch(self, conn: _Connection, frame: Frame) -> None:
+        if frame.kind == "ACQUIRE":
+            task = asyncio.get_running_loop().create_task(
+                self._handle_acquire(conn, frame)
+            )
+            conn.tasks.add(task)
+            task.add_done_callback(conn.tasks.discard)
+        elif frame.kind == "RELEASE":
+            await self._handle_release(conn, frame, end_tx=False)
+        elif frame.kind == "END_TX":
+            await self._handle_release(conn, frame, end_tx=True)
+        elif frame.kind == "PING":
+            await self._send(conn, make_pong(frame.request_id))
+        elif frame.kind == "STATS":
+            snapshot = self.service.snapshot()
+            snapshot["wire"] = self.snapshot()
+            await self._send(conn, make_ok(frame.request_id, stats=snapshot))
+        else:  # pragma: no cover - REQUEST_KINDS is closed
+            await self._send(conn, make_error(
+                frame.request_id, f"unhandled request kind {frame.kind}"
+            ))
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
+    async def _handle_acquire(self, conn: _Connection, frame: Frame) -> None:
+        if self._draining:
+            await self._send(conn, make_rejected(frame.request_id, "draining"))
+            return
+        processor = frame.get("processor")
+        priority = frame.get("priority", 1)
+        resource_type = frame.get("resource_type", "default")
+        timeout = frame.get("timeout")
+        if isinstance(processor, bool) or not isinstance(processor, int):
+            await self._send(conn, make_error(
+                frame.request_id, f"ACQUIRE needs an int processor, got {processor!r}"
+            ))
+            return
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            await self._send(conn, make_error(
+                frame.request_id, f"priority must be an int, got {priority!r}"
+            ))
+            return
+        if timeout is not None and (
+            isinstance(timeout, bool) or not isinstance(timeout, (int, float))
+        ):
+            await self._send(conn, make_error(
+                frame.request_id, f"timeout must be a number, got {timeout!r}"
+            ))
+            return
+        if isinstance(resource_type, bool) or not isinstance(resource_type, (str, int)):
+            await self._send(conn, make_error(
+                frame.request_id,
+                f"resource_type must be a string or int, got {resource_type!r}",
+            ))
+            return
+        try:
+            request = Request(processor, resource_type=resource_type, priority=priority)
+        except ValueError as exc:
+            await self._send(conn, make_error(frame.request_id, str(exc)))
+            return
+        try:
+            lease = await self.service.acquire(
+                request, timeout=None if timeout is None else float(timeout)
+            )
+        except AllocationRejected as exc:
+            await self._send(conn, make_rejected(frame.request_id, str(exc)))
+        except AllocationTimeout as exc:
+            await self._send(conn, make_timeout(frame.request_id, str(exc)))
+        except (ServiceClosed, ValueError) as exc:
+            # ServiceFaulted subclasses ServiceClosed; both mean "this
+            # server cannot grant anything anymore".
+            await self._send(conn, make_error(frame.request_id, str(exc)))
+        else:
+            if conn.closed:
+                # The client vanished while queued; the lease has no
+                # owner, so give it straight back.
+                self._release_quietly(lease)
+                self.leases_auto_released += 1
+                return
+            conn.leases[lease.lease_id] = lease
+            self.leases_granted += 1
+            watcher = asyncio.get_running_loop().create_task(
+                self._watch_revocation(conn, lease)
+            )
+            conn.watchers[lease.lease_id] = watcher
+            await self._send(conn, make_lease(
+                frame.request_id, lease.lease_id, lease.resource, lease.waited
+            ))
+
+    async def _handle_release(
+        self, conn: _Connection, frame: Frame, *, end_tx: bool
+    ) -> None:
+        lease_id = frame.get("lease_id")
+        if isinstance(lease_id, bool) or not isinstance(lease_id, int):
+            await self._send(conn, make_error(
+                frame.request_id, f"need an int lease_id, got {lease_id!r}"
+            ))
+            return
+        if lease_id in conn.revoked_ids:
+            conn.revoked_ids.discard(lease_id)
+            await self._send(conn, make_revoked(
+                frame.request_id, lease_id, "lease was revoked by a fault"
+            ))
+            return
+        lease = conn.leases.get(lease_id)
+        if lease is None:
+            await self._send(conn, make_error(
+                frame.request_id,
+                f"unknown lease {lease_id} (not granted on this connection)",
+            ))
+            return
+        try:
+            if end_tx:
+                self.service.end_transmission(lease)
+            else:
+                self.service.release(lease)
+        except LeaseRevoked:
+            self._forget_lease(conn, lease_id)
+            await self._send(conn, make_revoked(
+                frame.request_id, lease_id, "lease was revoked by a fault"
+            ))
+        except (AllocationError, ServiceClosed) as exc:
+            await self._send(conn, make_error(frame.request_id, str(exc)))
+        else:
+            if not end_tx:
+                self._forget_lease(conn, lease_id)
+            await self._send(conn, make_ok(frame.request_id, lease_id=lease_id))
+
+    async def _watch_revocation(self, conn: _Connection, lease: Lease) -> None:
+        """Push a REVOKED frame when a fault severs ``lease``."""
+        await lease.revocation.wait()
+        if conn.closed or lease.lease_id not in conn.leases:
+            return
+        del conn.leases[lease.lease_id]
+        conn.watchers.pop(lease.lease_id, None)
+        conn.revoked_ids.add(lease.lease_id)
+        self.revocations_pushed += 1
+        await self._send(conn, make_revoked(
+            PUSH_ID, lease.lease_id, "a fault severed this allocation"
+        ))
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _forget_lease(self, conn: _Connection, lease_id: int) -> None:
+        conn.leases.pop(lease_id, None)
+        watcher = conn.watchers.pop(lease_id, None)
+        if watcher is not None and not watcher.done():
+            watcher.cancel()
+
+    def _release_quietly(self, lease: Lease) -> None:
+        """Release a lease nobody owns anymore; swallow dead-service errors."""
+        try:
+            if lease.active and not lease.revoked:
+                self.service.release(lease)
+        except (AllocationError, ServiceClosed):
+            pass
+
+    async def _send(self, conn: _Connection, frame: Frame) -> None:
+        if conn.closed:
+            return
+        try:
+            # One write() per frame: StreamWriter.write is synchronous,
+            # so concurrently-sending tasks never interleave lines.
+            conn.writer.write(encode(frame))
+            await conn.writer.drain()
+        except (ConnectionError, OSError):
+            conn.closed = True
+
+    async def _teardown(self, conn: _Connection) -> None:
+        """Disconnect cleanup: cancel tasks, auto-release held leases."""
+        if conn.conn_id not in self._connections:
+            return
+        del self._connections[conn.conn_id]
+        conn.closed = True
+        doomed = [t for t in [*conn.tasks, *conn.watchers.values()] if not t.done()]
+        for task in doomed:
+            task.cancel()
+        if doomed:
+            await asyncio.gather(*doomed, return_exceptions=True)
+        conn.tasks.clear()
+        conn.watchers.clear()
+        for lease in conn.leases.values():
+            self._release_quietly(lease)
+            self.leases_auto_released += 1
+        conn.leases.clear()
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def snapshot(self) -> dict[str, Any]:
+        """Wire-layer gauges and counters (JSON-safe)."""
+        return {
+            "open_connections": self.open_connections,
+            "connections_accepted": self.connections_accepted,
+            "connections_refused": self.connections_refused,
+            "frames_received": self.frames_received,
+            "protocol_errors": self.protocol_errors,
+            "leases_granted": self.leases_granted,
+            "leases_auto_released": self.leases_auto_released,
+            "revocations_pushed": self.revocations_pushed,
+            "draining": self._draining,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("draining" if self._draining else "open")
+        return f"WireServer({state}, connections={self.open_connections})"

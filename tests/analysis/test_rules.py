@@ -226,6 +226,13 @@ class TestR005AsyncioHygiene:
         # service's designed shape.
         assert lint_snippet(tmp_path, self.GOOD, modpath="service/server2.py").findings == []
 
+    def test_wire_modules_in_scope(self, tmp_path):
+        # The TCP front-end shares the event loop with the tick loop,
+        # so wire/ is held to the same hygiene as service/.
+        report = lint_snippet(tmp_path, self.BAD_SLEEP, modpath="wire/server2.py")
+        assert rule_ids(report) == ["R005"]
+
     def test_out_of_scope_module(self, tmp_path):
-        # R005 is service/-only; sync code elsewhere may block freely.
+        # R005 covers service/ and wire/ only; sync code elsewhere may
+        # block freely.
         assert lint_snippet(tmp_path, self.BAD_SLEEP, modpath="sim/runner2.py").findings == []

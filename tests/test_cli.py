@@ -193,6 +193,94 @@ class TestCommands:
             main(["serve", "--horizon", "5"])
 
 
+class TestServeJson:
+    def test_serve_json_emits_one_object(self, capsys):
+        assert main([
+            "serve", "--horizon", "30", "--seed", "3", "--rate", "0.5", "--json",
+        ]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["allocated"] > 0
+        assert "wait_histogram" in doc
+        assert set(doc["wait_percentiles"]) == {"p50", "p90", "p99", "p999"}
+
+    def test_serve_json_matches_table_run(self, capsys):
+        """--json and the table view come from the same snapshot."""
+        import json
+
+        argv = ["serve", "--horizon", "30", "--seed", "3", "--rate", "0.5"]
+        assert main(argv + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        table = capsys.readouterr().out
+        assert "allocated" in table
+        assert str(doc["allocated"]) in table
+
+
+class TestWireCommands:
+    def test_wire_serve_and_loadgen_end_to_end(self, capsys):
+        """Both halves of the two-terminal quickstart, in one process:
+        wire-serve on a real port in a thread, loadgen against it."""
+        import json
+        import socket
+        import threading
+        import time
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        server_rc = []
+        server = threading.Thread(
+            target=lambda: server_rc.append(main([
+                "wire-serve", "--network", "omega", "--ports", "8",
+                "--port", str(port), "--tick", "0.005",
+                "--duration", "1.5", "--fault-rate", "2.0", "--seed", "11",
+                "--json",
+            ]))
+        )
+        server.start()
+        try:
+            time.sleep(0.4)  # let the server bind and print its address
+            rc = main([
+                "loadgen", "--port", str(port), "--rate", "150",
+                "--duration", "0.5", "--processors", "8",
+                "--seed", "5", "--connections", "2", "--json",
+            ])
+        finally:
+            server.join(timeout=10)
+        assert rc == 0
+        assert server_rc == [0]
+        out = capsys.readouterr().out
+        assert "listening on" in out
+        documents = [json.loads(l) for l in out.splitlines() if l.startswith("{")]
+        assert len(documents) == 2
+        loadgen_doc = next(d for d in documents if "throughput_per_sec" in d)
+        serve_doc = next(d for d in documents if "wire" in d)
+        assert loadgen_doc["completed"] > 0
+        assert loadgen_doc["errors"] == 0
+        assert set(loadgen_doc["latency_ms"]) == {"p50", "p90", "p99", "p999"}
+        assert serve_doc["wire"]["protocol_errors"] == 0
+        assert serve_doc["wire"]["leases_granted"] >= loadgen_doc["completed"]
+        assert serve_doc["active_leases"] == 0
+
+    def test_loadgen_unreachable_server_is_clear_error(self):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main([
+                "loadgen", "--port", "1", "--rate", "10",
+                "--duration", "0.1", "--processors", "4",
+            ])
+
+    def test_loadgen_rejects_bad_config(self):
+        with pytest.raises(SystemExit, match="rate"):
+            main(["loadgen", "--port", "1", "--rate", "0"])
+
+    def test_wire_serve_rejects_bad_config(self):
+        with pytest.raises(SystemExit, match="tick_interval"):
+            main(["wire-serve", "--tick", "0", "--duration", "0.1"])
+
+
 def test_scheduler_handles_rendered_instance():
     """Rendering must not disturb scheduling state."""
     m = MRSIN(omega(8))

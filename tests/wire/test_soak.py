@@ -1,0 +1,100 @@
+"""Soak: a seeded open-loop load generator vs a real wire server on
+omega-16 with Poisson fault injection, over localhost TCP.
+
+The invariants are absolute, not statistical:
+
+- zero protocol errors (nothing hostile is on this wire, so any
+  framing error is a bug);
+- zero leaked leases (everything granted is released, auto-released,
+  or revoked — the network ends with no busy resource);
+- nonzero completed allocations (the system made progress through the
+  fault churn).
+
+``REPRO_SOAK_DURATION`` (seconds, default 2) scales the run; CI's
+soak job runs it at 10.
+"""
+
+import asyncio
+import os
+
+from repro.core import MRSIN
+from repro.faults import FaultInjector
+from repro.networks import omega
+from repro.service.server import AllocationService, ServiceConfig
+from repro.wire import WireServer
+from repro.wire.loadgen import LoadGenConfig, run_loadgen
+
+DURATION = float(os.environ.get("REPRO_SOAK_DURATION", "2"))
+
+
+def test_soak_loadgen_vs_faulty_server():
+    async def scenario():
+        mrsin = MRSIN(omega(16))
+        service = AllocationService(
+            mrsin,
+            config=ServiceConfig(
+                tick_interval=0.005,
+                queue_limit=256,
+                default_timeout=1.0,
+                fault_budget=8,
+            ),
+        )
+        injector = FaultInjector(
+            mrsin,
+            rng=101,
+            fault_rate=4.0,       # several faults over even the short run
+            transient_fraction=0.9,
+            mean_repair=0.25,
+        )
+        config = LoadGenConfig(
+            rate=250.0,
+            duration=DURATION,
+            processors=16,
+            arrival="bursty",
+            connections=4,
+            seed=23,
+            request_timeout=1.0,
+            mean_hold=0.02,
+        )
+        stop = asyncio.Event()
+
+        async def churn() -> None:
+            started = service.clock.now()
+            while not stop.is_set():
+                await asyncio.sleep(0.01)
+                injector.inject(service, service.clock.now() - started)
+
+        async with service:
+            async with WireServer(service, max_connections=8) as server:
+                host, port = server.address
+                churn_task = asyncio.ensure_future(churn())
+                try:
+                    report = await run_loadgen(host, port, config)
+                finally:
+                    stop.set()
+                    await churn_task
+                # Give disconnect auto-release a beat to settle.
+                deadline = asyncio.get_event_loop().time() + 2.0
+                while service.active_leases and (
+                    asyncio.get_event_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.01)
+                wire = server.snapshot()
+            # --- invariants -------------------------------------------
+            assert report.completed > 0, "no allocation completed"
+            assert wire["protocol_errors"] == 0, wire
+            assert report.errors == 0, report.to_json()
+            assert service.active_leases == 0, "leaked leases"
+            assert sum(r.busy for r in mrsin.resources) == 0, (
+                "resource left busy after all leases ended"
+            )
+            assert (
+                report.completed + report.rejected
+                + report.timed_out + report.errors
+                == report.offered
+            )
+            assert service.snapshot()["faults_injected"] > 0, (
+                "soak ran without any fault — raise fault_rate or duration"
+            )
+
+    asyncio.run(scenario())

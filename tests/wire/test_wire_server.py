@@ -1,0 +1,356 @@
+"""Wire server/client lifecycle tests: lease custody across
+disconnects, graceful drain, revocation push, connection guards, and
+error replies — all over real localhost TCP."""
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.core import MRSIN
+from repro.networks import omega
+from repro.service.server import AllocationService, ServiceConfig
+from repro.wire import (
+    WireClient,
+    WireConnectionError,
+    WireLeaseRevoked,
+    WireRejected,
+    WireRemoteError,
+    WireServer,
+    WireTimeout,
+)
+from repro.wire import protocol
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@contextlib.asynccontextmanager
+async def stack(ports=8, tick=0.005, max_connections=64, **config_kwargs):
+    """A running service + wire server on an ephemeral port."""
+    defaults = dict(tick_interval=tick, queue_limit=256, default_timeout=2.0)
+    defaults.update(config_kwargs)
+    service = AllocationService(MRSIN(omega(ports)), config=ServiceConfig(**defaults))
+    async with service:
+        async with WireServer(service, max_connections=max_connections) as server:
+            yield service, server
+
+
+async def poll_until(predicate, timeout=2.0, interval=0.005):
+    """Await a condition the tick loop will eventually make true."""
+    deadline = asyncio.get_event_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_event_loop().time() > deadline:
+            raise AssertionError("condition not reached before timeout")
+        await asyncio.sleep(interval)
+
+
+async def raw_connect(server):
+    host, port = server.address
+    return await asyncio.open_connection(host, port)
+
+
+async def raw_roundtrip(reader, writer, frame, timeout=2.0):
+    writer.write(protocol.encode(frame))
+    await writer.drain()
+    return protocol.decode(await asyncio.wait_for(reader.readline(), timeout))
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+class TestRoundTrips:
+    def test_acquire_release_over_tcp(self):
+        async def scenario():
+            async with stack() as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=2.0) as client:
+                    lease = await client.acquire(3)
+                    assert lease.active
+                    assert service.active_leases == 1
+                    await client.release(lease)
+                    assert lease.released and not lease.active
+                    assert service.active_leases == 0
+                    assert server.leases_granted == 1
+                    assert server.protocol_errors == 0
+
+        run(scenario())
+
+    def test_end_transmission_then_release(self):
+        async def scenario():
+            async with stack() as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=2.0) as client:
+                    lease = await client.acquire(0)
+                    await client.end_transmission(lease)
+                    assert lease.active  # resource still held
+                    assert service.active_leases == 1
+                    await client.release(lease)
+                    assert service.active_leases == 0
+
+        run(scenario())
+
+    def test_ping_and_stats(self):
+        async def scenario():
+            async with stack() as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=2.0) as client:
+                    await client.ping()
+                    lease = await client.acquire(1)
+                    stats = await client.stats()
+                    assert stats["active_leases"] == 1
+                    assert stats["wire"]["leases_granted"] == 1
+                    assert stats["wire"]["open_connections"] == 1
+                    await client.release(lease)
+
+        run(scenario())
+
+    def test_pipelined_acquires_on_one_connection(self):
+        async def scenario():
+            async with stack(ports=8) as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=2.0) as client:
+                    leases = await asyncio.gather(
+                        *(client.acquire(p) for p in range(8))
+                    )
+                    assert len({l.lease_id for l in leases}) == 8
+                    assert service.active_leases == 8
+                    for lease in leases:
+                        await client.release(lease)
+                    assert service.active_leases == 0
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Satellite: disconnect auto-releases every connection-held lease
+# ----------------------------------------------------------------------
+class TestDisconnectCustody:
+    def test_client_disconnect_auto_releases(self):
+        async def scenario():
+            async with stack() as (service, server):
+                host, port = server.address
+                client = WireClient(host, port, request_timeout=2.0)
+                await client.connect()
+                for p in range(4):
+                    await client.acquire(p)
+                assert service.active_leases == 4
+                await client.close()  # no releases sent
+                await poll_until(lambda: service.active_leases == 0)
+                assert server.leases_auto_released == 4
+                assert server.open_connections == 0
+
+        run(scenario())
+
+    def test_lost_connection_marks_client_leases_revoked(self):
+        async def scenario():
+            async with stack() as (service, server):
+                host, port = server.address
+                client = WireClient(host, port, request_timeout=2.0)
+                await client.connect()
+                lease = await client.acquire(0)
+                # Server vanishes out from under the client.
+                await server.close()
+                await poll_until(lambda: lease.revoked)
+                with pytest.raises(WireLeaseRevoked):
+                    await client.release(lease)
+                await client.close()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Satellite: graceful drain
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_drain_rejects_new_and_completes_in_flight(self):
+        async def scenario():
+            # omega(4): 4 resources.  Saturate them, queue one more.
+            async with stack(ports=4) as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=5.0) as client:
+                    held = [await client.acquire(p) for p in range(4)]
+                    queued = asyncio.ensure_future(client.acquire(0, timeout=5.0))
+                    await poll_until(lambda: service.queue_depth == 1)
+                    drain_task = asyncio.ensure_future(server.drain())
+                    await poll_until(lambda: server.draining)
+                    # New ACQUIREs bounce immediately...
+                    with pytest.raises(WireRejected, match="draining"):
+                        await client.acquire(1)
+                    # ...while the in-flight one is still pending.
+                    assert not queued.done()
+                    assert not drain_task.done()
+                    # Freeing a resource lets the in-flight acquire finish,
+                    # which is what drain() was waiting for.
+                    await client.release(held[0])
+                    lease = await asyncio.wait_for(queued, 2.0)
+                    await asyncio.wait_for(drain_task, 2.0)
+                    assert lease.active
+                    # Cleanup still works on a draining server.
+                    await client.release(lease)
+                    for l in held[1:]:
+                        await client.release(l)
+                    assert service.active_leases == 0
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Satellite: revocation reaches the holder as a pushed REVOKED frame
+# ----------------------------------------------------------------------
+class TestRevocationPush:
+    def test_fault_revocation_pushed_to_client(self):
+        async def scenario():
+            async with stack() as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=2.0) as client:
+                    lease = await client.acquire(2)
+                    service.mrsin.fail_resource(lease.resource)
+                    service.reconcile_faults()
+                    await asyncio.wait_for(lease.revocation.wait(), 2.0)
+                    assert lease.revoked and not lease.active
+                    assert server.revocations_pushed == 1
+                    with pytest.raises(WireLeaseRevoked):
+                        await client.release(lease)
+
+        run(scenario())
+
+    def test_release_racing_revocation_gets_revoked_reply(self):
+        """A RELEASE crossing the REVOKED push on the wire is answered
+        with REVOKED, not ERROR — the client learns the true outcome."""
+
+        async def scenario():
+            async with stack() as (service, server):
+                reader, writer = await raw_connect(server)
+                reply = await raw_roundtrip(
+                    reader, writer, protocol.make_acquire(1, 0)
+                )
+                assert reply.kind == "LEASE"
+                lease_id = reply.get("lease_id")
+                service.mrsin.fail_resource(reply.get("resource"))
+                service.reconcile_faults()
+                push = protocol.decode(
+                    await asyncio.wait_for(reader.readline(), 2.0)
+                )
+                assert push.kind == "REVOKED"
+                assert push.request_id == protocol.PUSH_ID
+                assert push.get("lease_id") == lease_id
+                # Release the revoked lease anyway: REVOKED reply.
+                reply = await raw_roundtrip(
+                    reader, writer, protocol.make_release(2, lease_id)
+                )
+                assert reply.kind == "REVOKED"
+                writer.close()
+                await writer.wait_closed()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Guards and error replies
+# ----------------------------------------------------------------------
+class TestGuards:
+    def test_max_connections_refused_with_error_frame(self):
+        async def scenario():
+            async with stack(max_connections=1) as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=2.0) as client:
+                    await client.ping()
+                    reader, writer = await raw_connect(server)
+                    frame = protocol.decode(
+                        await asyncio.wait_for(reader.readline(), 2.0)
+                    )
+                    assert frame.kind == "ERROR"
+                    assert "max_connections" in frame.get("message")
+                    assert server.connections_refused == 1
+                    writer.close()
+
+        run(scenario())
+
+    def test_malformed_frame_answered_not_fatal(self):
+        async def scenario():
+            async with stack() as (service, server):
+                reader, writer = await raw_connect(server)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                reply = protocol.decode(
+                    await asyncio.wait_for(reader.readline(), 2.0)
+                )
+                assert reply.kind == "ERROR"
+                assert reply.request_id == protocol.PUSH_ID
+                assert server.protocol_errors == 1
+                # The connection survives and still serves requests.
+                reply = await raw_roundtrip(reader, writer, protocol.make_ping(9))
+                assert reply.kind == "PONG"
+                writer.close()
+                await writer.wait_closed()
+
+        run(scenario())
+
+    def test_reply_kind_as_request_is_rejected(self):
+        async def scenario():
+            async with stack() as (service, server):
+                reader, writer = await raw_connect(server)
+                reply = await raw_roundtrip(
+                    reader, writer, protocol.make_pong(5)
+                )
+                assert reply.kind == "ERROR"
+                assert "request frame" in reply.get("message")
+                writer.close()
+                await writer.wait_closed()
+
+        run(scenario())
+
+    def test_bad_acquire_payload_gets_error(self):
+        async def scenario():
+            async with stack() as (service, server):
+                reader, writer = await raw_connect(server)
+                bad = protocol.Frame("ACQUIRE", 3, {"processor": "zero"})
+                reply = await raw_roundtrip(reader, writer, bad)
+                assert reply.kind == "ERROR"
+                assert "processor" in reply.get("message")
+                writer.close()
+                await writer.wait_closed()
+
+        run(scenario())
+
+    def test_unknown_lease_release_is_error(self):
+        async def scenario():
+            async with stack() as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=2.0) as client:
+                    from repro.wire.client import RemoteLease
+
+                    ghost = RemoteLease(lease_id=10**6, resource=0, waited=0.0)
+                    with pytest.raises(WireRemoteError, match="unknown lease"):
+                        await client.release(ghost)
+
+        run(scenario())
+
+    def test_acquire_timeout_when_saturated(self):
+        async def scenario():
+            async with stack(ports=4) as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=5.0) as client:
+                    held = [await client.acquire(p) for p in range(4)]
+                    with pytest.raises(WireTimeout):
+                        await client.acquire(0, timeout=0.05)
+                    for lease in held:
+                        await client.release(lease)
+
+        run(scenario())
+
+    def test_connect_failure_raises_after_retries(self):
+        async def scenario():
+            client = WireClient(
+                "127.0.0.1", 1,  # reserved port: nothing listens there
+                reconnect_attempts=2,
+                backoff_base=0.001,
+                backoff_max=0.002,
+                rng=7,
+            )
+            with pytest.raises(WireConnectionError, match="3 attempt"):
+                await client.connect()
+
+        run(scenario())
