@@ -1,25 +1,31 @@
 """SERVICE — online batched allocation vs one-request-per-solve,
-and warm-start vs cold per-tick scheduling.
+and warm-start (kernel / object engine) vs cold per-tick scheduling.
 
 The service layer's claim: coalescing every pending request into one
 max-flow solve per tick (Transformation 1 over the whole batch)
 amortises the monitor's per-cycle cost, so under sustained load the
 batched service sustains a strictly higher allocation throughput than
-solving one request at a time (``max_batch=1``), while also spending
-far fewer solver instructions per allocation.
+solving one request at a time (``max_batch=1``).  At *moderate* load it
+also spends fewer solver instructions per allocation; at saturating
+load that per-allocation comparison stops being meaningful (the serial
+service starves its queue, and the kernel's value-bound certificate
+makes each trivial one-request solve nearly free), so there the asserts
+pin the starvation contrast instead.
 
-The incremental engine's claim: keeping one persistent
-Transformation-1 network across ticks (releases retract their flow,
-solves augment from the standing flow) beats rebuilding the network
-from scratch every cycle.  The steady-state section drives
-``run_one_cycle`` directly under sustained churn on an omega-32 and
-times only the scheduling cycle — warm must sustain ≥1.5× the
-cold ticks/sec, with identical allocation counts.
+The warm-engine claims: keeping one persistent Transformation-1 network
+across ticks (releases retract their flow, solves augment from the
+standing flow) beats rebuilding from scratch every cycle, and hosting
+that persistent network on the flat-array CSR kernel
+(:class:`~repro.core.incremental.KernelFlowEngine`) beats walking the
+object graph (:class:`~repro.core.incremental.IncrementalFlowEngine`).
+The steady-state section drives ``run_one_cycle`` directly under
+sustained churn on an omega-32 and times only the scheduling cycle for
+all three engines — identical allocation counts, warm-kernel ≥1.5× the
+cold ticks/sec, and warm-kernel strictly above warm-object.
 
 Regenerates a two-load-point comparison (moderate and heavy traffic)
-plus the warm/cold steady-state rates, recorded in
-``BENCH_service.json`` so later PRs have a trajectory to compare
-against.
+plus the three steady-state rates, recorded in ``BENCH_service.json``
+so later PRs have a trajectory to compare against.
 
 Timed kernel: one short batched service run.
 """
@@ -86,23 +92,26 @@ def _run(rate: float, max_batch: int | None) -> dict:
     }
 
 
-def _steady_state(warm_start: bool) -> dict:
+def _steady_state(mode: str) -> dict:
     """Sustained-churn tick rate with timing confined to the cycle.
 
+    ``mode`` is ``"cold"`` (per-tick rebuild), ``"object"`` (warm
+    object-graph engine), or ``"kernel"`` (warm flat-array engine).
     Every tick: leases older than ``STEADY_HOLD`` ticks are released,
     every idle processor re-requests with probability 0.9, and one
     scheduling cycle runs.  Only ``run_one_cycle`` is timed (after the
     warm-up), so the rate isolates scheduling cost — the asyncio
-    plumbing around it is identical in both configurations.
+    plumbing around it is identical in all configurations.
     """
 
     async def scenario() -> dict:
         mrsin = MRSIN(omega(STEADY_PORTS))
-        service = AllocationService(
-            mrsin,
-            config=ServiceConfig(queue_limit=4 * STEADY_PORTS, warm_start=warm_start),
-            clock=VirtualClock(),
+        config = ServiceConfig(
+            queue_limit=4 * STEADY_PORTS,
+            warm_start=mode != "cold",
+            warm_engine=mode if mode != "cold" else "kernel",
         )
+        service = AllocationService(mrsin, config=config, clock=VirtualClock())
         rng = np.random.default_rng(SEED)
         held: list[tuple[int, object]] = []
         holding: set[int] = set()
@@ -166,19 +175,32 @@ def test_batched_vs_serial_throughput(benchmark, capsys):
     with capsys.disabled():
         print("\n" + table.render())
 
-    # Warm-start vs cold per-tick scheduling at high sustained load.
-    warm = _steady_state(warm_start=True)
-    cold = _steady_state(warm_start=False)
-    speedup = warm["ticks_per_sec"] / cold["ticks_per_sec"]
+    # Warm-start (kernel and object engines) vs cold per-tick
+    # scheduling at high sustained load.
+    kernel_warm = _steady_state("kernel")
+    object_warm = _steady_state("object")
+    cold = _steady_state("cold")
+    speedup = kernel_warm["ticks_per_sec"] / cold["ticks_per_sec"]
+    kernel_vs_object = kernel_warm["ticks_per_sec"] / object_warm["ticks_per_sec"]
     steady_table = Table(
         ["engine", "ticks/sec (solve)", "allocated", "builds"],
         title=(
-            f"SERVICE: steady-state scheduling rate, warm vs cold "
-            f"(omega-{STEADY_PORTS}, {STEADY_TICKS} ticks, speedup {speedup:.2f}x)"
+            f"SERVICE: steady-state scheduling rate "
+            f"(omega-{STEADY_PORTS}, {STEADY_TICKS} ticks, kernel "
+            f"{speedup:.2f}x cold, {kernel_vs_object:.2f}x object warm)"
         ),
     )
     steady_table.add_row(
-        "warm", f"{warm['ticks_per_sec']:.0f}", warm["allocated"], warm["engine_builds"]
+        "warm kernel",
+        f"{kernel_warm['ticks_per_sec']:.0f}",
+        kernel_warm["allocated"],
+        kernel_warm["engine_builds"],
+    )
+    steady_table.add_row(
+        "warm object",
+        f"{object_warm['ticks_per_sec']:.0f}",
+        object_warm["allocated"],
+        object_warm["engine_builds"],
     )
     steady_table.add_row("cold", f"{cold['ticks_per_sec']:.0f}", cold["allocated"], "-")
     with capsys.disabled():
@@ -208,32 +230,43 @@ def test_batched_vs_serial_throughput(benchmark, capsys):
             "network": f"omega-{STEADY_PORTS}",
             "ticks": STEADY_TICKS,
             "hold_ticks": STEADY_HOLD,
-            "warm": warm,
+            "warm": kernel_warm,
+            "warm_object": object_warm,
             "cold": cold,
             "speedup": speedup,
+            "kernel_vs_object": kernel_vs_object,
         },
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
 
-    # The incremental engine's claim: same allocations, one build,
-    # and ≥1.5× the cold steady-state scheduling rate.
-    assert warm["allocated"] == cold["allocated"]
-    assert warm["engine_builds"] == 1
+    # The warm-engine claims: same allocations as cold on the same
+    # traffic, one build each, kernel ≥1.5× the cold steady-state rate
+    # and strictly above the object-graph warm engine.
+    assert kernel_warm["allocated"] == cold["allocated"]
+    assert object_warm["allocated"] == cold["allocated"]
+    assert kernel_warm["engine_builds"] == 1
+    assert object_warm["engine_builds"] == 1
     assert speedup >= STEADY_SPEEDUP
+    assert kernel_vs_object > 1.0
 
     heavy_batched = results[(1.5, "batched")]
     heavy_serial = results[(1.5, "serial")]
     # At heavy load the batched service strictly beats one-per-solve:
-    # more allocations inside the horizon, more per wall-clock second,
-    # and fewer solver instructions per allocation (the amortisation).
+    # more allocations inside the horizon and more per wall-clock
+    # second — while serial starves its queue (mass timeouts).  No
+    # instructions-per-allocation assert here: serving almost nobody
+    # makes serial's trivial solves nearly free per allocation (see the
+    # module docstring), so the economy claim lives at moderate load.
     assert heavy_batched["allocated"] > heavy_serial["allocated"]
     assert heavy_batched["allocations_per_sec"] > heavy_serial["allocations_per_sec"]
-    assert (
-        heavy_batched["instructions_per_allocation"]
-        < heavy_serial["instructions_per_allocation"]
-    )
-    # At moderate load batching never hurts allocation count.
+    assert heavy_serial["timed_out"] > heavy_batched["timed_out"]
+    # At moderate load batching never hurts allocation count and spends
+    # fewer solver instructions per allocation (the amortisation).
     assert results[(0.5, "batched")]["allocated"] >= results[(0.5, "serial")]["allocated"]
+    assert (
+        results[(0.5, "batched")]["instructions_per_allocation"]
+        < results[(0.5, "serial")]["instructions_per_allocation"]
+    )
 
     def kernel():
         return run_service(_spec(), rate=0.8, horizon=30.0, seed=3).allocated

@@ -214,11 +214,18 @@ class IntegralFlows(Rule):
     - assignments (plain or augmented) to ``.flow`` / ``.capacity`` /
       ``.lower`` attributes whose right-hand side contains a float
       literal or a ``float(...)`` call;
-    - ``float(...)`` coercion of any flow-carrying name or attribute.
+    - ``float(...)`` coercion of any flow-carrying name or attribute;
+    - flow-valued functions (name contains ``flow`` but not ``cost``)
+      annotated ``-> float`` or returning a float literal — the bug
+      class behind the PR-7 sweep: ``blocking_flow(...) -> float`` and
+      ``return 0.0`` quietly re-floated values the arc fields kept
+      integral.
 
     Cost arithmetic is deliberately out of scope: min-cost runs on
     float costs/potentials (the paper's ``w(e)``), and the LP modules
-    are a relaxation whose extraction step re-establishes integrality.
+    (``flows/lp.py``, ``flows/multicommodity.py``) are a relaxation
+    whose extraction step re-establishes integrality — they are exempt
+    from the return-type checks.
     """
 
     id = "R003"
@@ -226,6 +233,8 @@ class IntegralFlows(Rule):
 
     SCOPE_PREFIX = "flows/"
     SCOPE_FILES = {"core/transform.py", "core/incremental.py"}
+    # The LP relaxation legitimately traffics in fractional flows.
+    RELAXATION_FILES = {"flows/lp.py", "flows/multicommodity.py"}
     FLOW_ATTRS = {"flow", "capacity", "lower"}
     FLOW_NAMES = FLOW_ATTRS | {"target_flow", "flow_limit"}
 
@@ -235,6 +244,8 @@ class IntegralFlows(Rule):
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             yield from self._check_annotations(ctx, node)
+            if ctx.modpath not in self.RELAXATION_FILES:
+                yield from self._check_flow_returns(ctx, node)
             if isinstance(node, (ast.Assign, ast.AugAssign)):
                 targets = node.targets if isinstance(node, ast.Assign) else [node.target]
                 if any(
@@ -278,6 +289,48 @@ class IntegralFlows(Rule):
                         f"parameter '{arg.arg}' annotated float; flow "
                         "quantities are int (Theorem 2 integrality)",
                     )
+
+    def _check_flow_returns(self, ctx: ModuleContext, node: ast.AST) -> Iterator[Finding]:
+        """Flag float leaks at the return boundary of flow functions.
+
+        A function whose name mentions ``flow`` (and not ``cost``)
+        computes a flow value; annotating it ``-> float`` or returning
+        a float literal re-floats a quantity the arc fields keep
+        integral, and the coercion survives every downstream ``==``
+        check right up until a half unit appears.
+        """
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        name = node.name.lower()
+        if "flow" not in name or "cost" in name:
+            return
+        if self._annotates_float(node.returns):
+            yield self.finding(
+                ctx, node,
+                f"flow-valued function '{node.name}' annotated '-> float'; "
+                "flow values are int (Theorem 2 integrality)",
+            )
+        for sub in self._walk_own_body(node):
+            if (
+                isinstance(sub, ast.Return)
+                and sub.value is not None
+                and self._has_float(sub.value)
+            ):
+                yield self.finding(
+                    ctx, sub,
+                    f"float literal returned from flow-valued function "
+                    f"'{node.name}'; return an int (Theorem 2 integrality)",
+                )
+
+    @staticmethod
+    def _walk_own_body(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Walk ``fn`` without descending into nested function defs."""
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                stack.extend(ast.iter_child_nodes(node))
 
     @staticmethod
     def _target_name(target: ast.expr) -> str:

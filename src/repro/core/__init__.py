@@ -34,7 +34,7 @@ from repro.core.transform import (
     extract_mapping,
     extract_multicommodity_mapping,
 )
-from repro.core.incremental import IncrementalFlowEngine
+from repro.core.incremental import IncrementalFlowEngine, KernelFlowEngine
 from repro.core.scheduler import Discipline, OptimalScheduler
 from repro.core.heuristic import greedy_schedule, arbitrary_schedule, random_binding_schedule
 from repro.core.exhaustive import exhaustive_schedule, count_candidate_mappings
@@ -55,6 +55,7 @@ __all__ = [
     "extract_multicommodity_mapping",
     "Discipline",
     "IncrementalFlowEngine",
+    "KernelFlowEngine",
     "OptimalScheduler",
     "greedy_schedule",
     "arbitrary_schedule",

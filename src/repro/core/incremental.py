@@ -50,14 +50,72 @@ from typing import Sequence
 
 from repro.core.mapping import Assignment, Mapping
 from repro.core.model import MRSIN
-from repro.core.requests import Request
+from repro.core.requests import Request, Resource
 from repro.core.transform import TransformedProblem, _add_structure_arcs
 from repro.flows.dinic import dinic
 from repro.flows.graph import Arc, FlowNetwork
+from repro.flows.kernel import CompiledNetwork, FlowKernel
 from repro.networks.topology import Link
 from repro.util.counters import OpCounter
 
-__all__ = ["IncrementalFlowEngine"]
+__all__ = ["IncrementalFlowEngine", "KernelFlowEngine"]
+
+
+def _build_persistent(
+    mrsin: MRSIN,
+) -> tuple[
+    FlowNetwork,
+    TransformedProblem,
+    dict[int, Arc],
+    dict[int, Arc],
+    list[tuple[Link, Arc, tuple]],
+    list[tuple[Resource, Arc]],
+]:
+    """Cold-build the persistent Transformation-1 network for ``mrsin``.
+
+    Shared by both warm engines: every physical link is materialised
+    once (occupied links as capacity-0 arcs), every processor gets a
+    permanent closed ``s → (p, i)`` source arc, every resource a
+    permanent ``(r, j) → t`` sink arc mirroring its busy/failed state.
+    Returns ``(net, problem, source_arc, sink_arc, link_pairs,
+    res_pairs)`` where the two ``*_pairs`` lists precompute the
+    (physical object, mirroring arc[, adjacent boxes]) tuples the
+    per-tick sync scans walk.
+    """
+    net = FlowNetwork()
+    net.add_node("s")
+    net.add_node("t")
+    problem = TransformedProblem(net=net, source="s", sink="t")
+    source_arc = {
+        p: net.add_arc("s", ("p", p), capacity=0) for p in range(mrsin.n_processors)
+    }
+    resource_in = _add_structure_arcs(net, mrsin, problem, include_occupied=True)
+    sink_arc = {
+        res.index: net.add_arc(
+            ("r", res.index), "t", capacity=0 if (res.busy or res.failed) else 1
+        )
+        for res in mrsin.resources
+        if res.index in resource_in
+    }
+    network = mrsin.network
+
+    def boxes_of(link: Link) -> tuple:
+        adjacent = []
+        for end in (link.src, link.dst):
+            if end.kind in ("box_in", "box_out"):
+                adjacent.append(network.box(end.stage, end.box))
+        return tuple(adjacent)
+
+    link_pairs = [
+        (link, net.arcs[problem.arc_of_link[link.index]], boxes_of(link))
+        for link in network.links
+    ]
+    res_pairs = [
+        (res, sink_arc[res.index])
+        for res in mrsin.resources
+        if res.index in sink_arc
+    ]
+    return net, problem, source_arc, sink_arc, link_pairs, res_pairs
 
 
 class IncrementalFlowEngine:
@@ -261,43 +319,16 @@ class IncrementalFlowEngine:
     # ------------------------------------------------------------------
     def _build(self) -> None:
         """Cold build of the persistent network from the live MRSIN."""
-        net = FlowNetwork()
-        net.add_node("s")
-        net.add_node("t")
-        problem = TransformedProblem(net=net, source="s", sink="t")
-        self._source_arc = {
-            p: net.add_arc("s", ("p", p), capacity=0)
-            for p in range(self.mrsin.n_processors)
-        }
-        resource_in = _add_structure_arcs(net, self.mrsin, problem, include_occupied=True)
-        self._sink_arc = {
-            res.index: net.add_arc(
-                ("r", res.index), "t", capacity=0 if (res.busy or res.failed) else 1
-            )
-            for res in self.mrsin.resources
-            if res.index in resource_in
-        }
+        (
+            net,
+            problem,
+            self._source_arc,
+            self._sink_arc,
+            self._link_pairs,
+            self._res_pairs,
+        ) = _build_persistent(self.mrsin)
         self._net = net
         self._problem = problem
-        # (physical object, mirroring arc[, adjacent boxes]) tuples for
-        # the per-tick sync scan — precomputed so _in_sync is pure
-        # attribute reads (box fault flags included).
-        network = self.mrsin.network
-        def boxes_of(link: Link) -> tuple:
-            adjacent = []
-            for end in (link.src, link.dst):
-                if end.kind in ("box_in", "box_out"):
-                    adjacent.append(network.box(end.stage, end.box))
-            return tuple(adjacent)
-        self._link_pairs = [
-            (link, net.arcs[problem.arc_of_link[link.index]], boxes_of(link))
-            for link in network.links
-        ]
-        self._res_pairs = [
-            (res, self._sink_arc[res.index])
-            for res in self.mrsin.resources
-            if res.index in self._sink_arc
-        ]
         self._circuit_arcs = {}
         self._enabled = set()
         self._pending = None
@@ -395,5 +426,485 @@ class IncrementalFlowEngine:
         state = "empty" if self._net is None else f"|E|={self._net.n_arcs}"
         return (
             f"IncrementalFlowEngine({self.mrsin.network.name!r}, {state}, "
+            f"builds={self.builds}, warm_ticks={self.warm_ticks})"
+        )
+
+
+class KernelFlowEngine:
+    """The warm-start engine re-hosted on the flat-array flow kernel.
+
+    Public API, semantics, and fallback-to-cold rules are those of
+    :class:`IncrementalFlowEngine` (schedule → commit / rollback, the
+    ``note_*`` retraction lifecycle, absorb-capacity-deltas-else-rebuild
+    reconciliation) — the differential tests hold the two engines to
+    identical per-tick flow values.  What changes is the hot-path
+    representation:
+
+    - the persistent Transformation-1 network is **compiled once** per
+      build onto a :class:`~repro.flows.kernel.FlowKernel`; every
+      per-tick operation (enable/disable source arcs, solve, extract
+      the flow delta, freeze, retract) runs on flat int arrays.  A
+      unit arc pair ``(a, a ^ 1)`` encodes the arc lifecycle directly:
+      ``(1, 0)`` free, ``(0, 1)`` carrying uncommitted flow, ``(0, 0)``
+      frozen (committed circuit, tracked in ``_frozen``) or disabled;
+    - the O(links + resources) reconciliation scan is skipped entirely
+      when :attr:`MRSIN.state_epoch <repro.core.model.MRSIN>` still
+      equals the epoch recorded at the last sync.  The engine's own
+      mutators re-adopt the epoch only when it advanced by exactly the
+      bumps their paired MRSIN call produces; any other movement leaves
+      the epoch stale and the next cycle scans (the always-safe
+      fallback).  Consequently :meth:`commit` /
+      :meth:`note_transmission_end` / :meth:`note_release` must be
+      called *immediately after* their MRSIN counterpart
+      (``apply_mapping`` / ``complete_transmission`` /
+      ``complete_service``/``revoke``), with no interleaved mutations —
+      the same contract the object engine documents, here load-bearing.
+      State mutated behind the MRSIN API (e.g. directly on the network)
+      requires :meth:`invalidate`.
+
+    The object engine remains the teaching implementation and the
+    differential oracle; this one exists to be fast.
+    """
+
+    def __init__(self, mrsin: MRSIN, *, counter: OpCounter | None = None) -> None:
+        self.mrsin = mrsin
+        self.counter = counter
+        self.builds = 0
+        self.warm_ticks = 0
+        self.last_new_flow = 0
+        self._compiled: CompiledNetwork | None = None
+        self._kernel: FlowKernel | None = None
+        self._s = -1
+        self._t = -1
+        # processor / resource index <-> kernel forward-arc id (always
+        # even; the reverse arc is id ^ 1).
+        self._src_pair: dict[int, int] = {}
+        self._sink_pair: dict[int, int] = {}
+        self._proc_of_arc: dict[int, int] = {}
+        self._res_of_arc: dict[int, int] = {}
+        self._arc_of_link: dict[int, int] = {}
+        self._link_of_arc: dict[int, Link] = {}
+        # (physical object, kernel arc[, adjacent boxes]) tuples for the
+        # reconciliation scan.
+        self._link_tuples: list[tuple[Link, int, tuple]] = []
+        self._res_tuples: list[tuple[Resource, int]] = []
+        # resource index -> frozen kernel arc path of its circuit.
+        self._circuit_arcs: dict[int, list[int]] = {}
+        # forward arcs whose (0, 0) pair means one committed unit, not
+        # "disabled" — the scan needs the distinction.
+        self._frozen: set[int] = set()
+        self._enabled: set[int] = set()
+        self._request_of: dict[int, Request] = {}
+        self._pending: list[tuple[int, int, list[int]]] | None = None
+        self._pending_mapping: Mapping | None = None
+        # Static level labeling (node -> physical layer depth) computed
+        # once per build; Transformation-1 networks are layered DAGs,
+        # so this doubles as the first phase's BFS result every tick.
+        self._levels: list[int] | None = None
+        self._dirty = True
+        self._synced_epoch = -1
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, requests: Sequence[Request]) -> Mapping:
+        """One warm scheduling cycle on the kernel; see
+        :meth:`IncrementalFlowEngine.schedule` for the contract."""
+        reqs = list(requests)
+        procs = [r.processor for r in reqs]
+        if len(set(procs)) != len(procs):
+            raise ValueError("at most one request per processor per cycle (model item 5)")
+        self._rollback_pending()
+        if self._kernel is None or self._dirty:
+            self._build()
+        elif self.mrsin.state_epoch != self._synced_epoch:
+            if self._scan():
+                self._synced_epoch = self.mrsin.state_epoch
+            else:
+                self._build()
+        kernel = self._kernel
+        if kernel is None:
+            raise RuntimeError(
+                "kernel engine invariant broken: _build() left no kernel behind"
+            )
+        cap = kernel.cap
+        self._request_of.clear()
+        wanted: set[int] = set()
+        for req in reqs:
+            a = self._src_pair[req.processor]
+            if a in self._frozen:
+                raise ValueError(
+                    f"processor {req.processor} still holds a transmitting circuit"
+                )
+            wanted.add(req.processor)
+            self._request_of[req.processor] = req
+        for p in self._enabled - wanted:
+            a = self._src_pair[p]
+            if a not in self._frozen:
+                cap[a] = 0
+        for p in wanted:
+            cap[self._src_pair[p]] = 1
+        self._enabled = wanted
+        baseline = kernel.snapshot()
+        touched: list[int] = []
+        aug_paths: list[list[int]] = []
+        added = kernel.max_flow(
+            self._s,
+            self._t,
+            levels=self._levels,
+            value_bound=len(wanted),
+            touched=touched,
+            paths_out=aug_paths,
+        )
+        kernel.charge(self.counter, baseline)
+        # Fast path: no reverse arc was pushed on (all touched ids are
+        # even), so no unit was cancelled or rerouted — on this
+        # unit-capacity network each augmentation carried exactly one
+        # unit (`added` paths in total) and the recorded paths are the
+        # delta decomposition verbatim.  Sorting by source arc matches
+        # the ascending-arc scan order of the general decomposition, so
+        # both branches yield byte-for-byte identical mappings.
+        if len(aug_paths) == added and not any(a & 1 for a in touched):
+            paths = sorted(aug_paths, key=lambda p: p[0])
+        else:
+            paths = self._delta_paths(kernel, touched)
+        mapping = Mapping()
+        pending: list[tuple[int, int, list[int]]] = []
+        for path in paths:
+            proc = self._proc_of_arc[path[0]]
+            res = self._res_of_arc[path[-1]]
+            links = tuple(
+                self._link_of_arc[a] for a in path if a in self._link_of_arc
+            )
+            mapping.add(
+                Assignment(
+                    request=self._request_of[proc],
+                    resource=self.mrsin.resources[res],
+                    path=links,
+                )
+            )
+            pending.append((proc, res, path))
+        self._pending = pending
+        self._pending_mapping = mapping
+        self.last_new_flow = len(pending)
+        self.warm_ticks += 1
+        return mapping
+
+    def commit(self, mapping: Mapping) -> None:
+        """Record ``mapping`` as applied; call directly after
+        :meth:`MRSIN.apply_mapping <repro.core.model.MRSIN.apply_mapping>`
+        (no interleaved MRSIN mutations — see the class docstring)."""
+        kernel = self._kernel
+        if kernel is None:
+            return
+        cap = kernel.cap
+        if mapping is self._pending_mapping:
+            if self._pending is None:
+                raise RuntimeError(
+                    "kernel engine invariant broken: a pending mapping was "
+                    "recorded without its pending flow paths"
+                )
+            for _proc, res, arcs in self._pending:
+                for a in arcs:
+                    cap[a] = 0
+                    cap[a ^ 1] = 0
+                    self._frozen.add(a)
+                self._circuit_arcs[res] = arcs
+            self._pending = None
+            self._pending_mapping = None
+            self._adopt_epoch(1)
+            return
+        self._rollback_pending()
+        for asg in mapping.assignments:
+            arcs = self._path_arcs(asg.request.processor, asg.path, asg.resource.index)
+            if arcs is None or any(a in self._frozen or cap[a ^ 1] for a in arcs):
+                self._dirty = True
+                return
+            for a in arcs:
+                cap[a] = 0
+                cap[a ^ 1] = 0
+                self._frozen.add(a)
+            self._circuit_arcs[asg.resource.index] = arcs
+        self._adopt_epoch(1)
+
+    # ------------------------------------------------------------------
+    # Release lifecycle
+    # ------------------------------------------------------------------
+    def note_transmission_end(self, resource: int) -> None:
+        """Circuit into ``resource`` torn down (resource stays busy);
+        call directly after ``MRSIN.complete_transmission``."""
+        kernel = self._kernel
+        if kernel is None:
+            return
+        arcs = self._circuit_arcs.pop(resource, None)
+        if arcs is None:
+            self._dirty = True  # a circuit the engine never registered
+            return
+        self._retract(arcs)
+        kernel.cap[self._sink_pair[resource]] = 0
+        self._adopt_epoch(1)
+
+    def note_release(self, resource: int) -> None:
+        """``resource`` freed (service complete or revoked); call
+        directly after ``MRSIN.complete_service`` / ``MRSIN.revoke``."""
+        kernel = self._kernel
+        if kernel is None:
+            return
+        arcs = self._circuit_arcs.pop(resource, None)
+        if arcs is not None:
+            self._retract(arcs)
+        a = self._sink_pair.get(resource)
+        if a is None:
+            return
+        cap = kernel.cap
+        if a in self._frozen or cap[a ^ 1]:
+            self._dirty = True  # an unregistered circuit is still parked here
+            return
+        cap[a] = 0 if self.mrsin.resources[resource].failed else 1
+        self._adopt_epoch(1)
+
+    def invalidate(self) -> None:
+        """Force a cold rebuild on the next scheduling cycle."""
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        """Cold build: construct the persistent network, compile it."""
+        net, problem, source_arc, sink_arc, link_pairs, res_pairs = _build_persistent(
+            self.mrsin
+        )
+        compiled = net.compile()
+        kernel = compiled.kernel
+        self._compiled = compiled
+        self._kernel = kernel
+        self._s = compiled.node_of["s"]
+        self._t = compiled.node_of["t"]
+        self._src_pair = {p: 2 * arc.index for p, arc in source_arc.items()}
+        self._proc_of_arc = {a: p for p, a in self._src_pair.items()}
+        self._sink_pair = {r: 2 * arc.index for r, arc in sink_arc.items()}
+        self._res_of_arc = {a: r for r, a in self._sink_pair.items()}
+        self._arc_of_link = {
+            lidx: 2 * aidx for lidx, aidx in problem.arc_of_link.items()
+        }
+        self._link_of_arc = {2 * aidx: link for aidx, link in problem.arc_link.items()}
+        self._link_tuples = [
+            (link, 2 * arc.index, boxes) for link, arc, boxes in link_pairs
+        ]
+        self._res_tuples = [(res, 2 * arc.index) for res, arc in res_pairs]
+        self._circuit_arcs = {}
+        self._frozen = set()
+        self._enabled = set()
+        self._request_of = {}
+        self._pending = None
+        self._pending_mapping = None
+        # Promote in-flight circuits to frozen unit flows (their arcs
+        # compiled to (0, 0) already — occupied links and busy sinks are
+        # capacity 0 in the persistent build).
+        cap = kernel.cap
+        for res, circuit in self.mrsin.transmitting_circuits().items():
+            arcs = self._path_arcs(circuit.processor, circuit.links, res)
+            if arcs is None:
+                continue
+            for a in arcs:
+                cap[a] = 0
+                cap[a ^ 1] = 0
+                self._frozen.add(a)
+            self._circuit_arcs[res] = arcs
+        # Static levels: BFS over the forward arcs *ignoring* capacity.
+        # Between solves no pair carries a reverse residual, so the
+        # residual graph at solve time is always a subgraph of this one
+        # and the labeling is a sound (here: exact) first-phase hint.
+        levels = [-1] * kernel.n_nodes
+        levels[self._s] = 0
+        bfs = [self._s]
+        for v in bfs:
+            lv = levels[v] + 1
+            a = kernel.head[v]
+            while a != -1:
+                if not a & 1:
+                    w = kernel.to[a]
+                    if levels[w] < 0:
+                        levels[w] = lv
+                        bfs.append(w)
+                a = kernel.next_arc[a]
+        self._levels = levels
+        self._dirty = False
+        self._synced_epoch = self.mrsin.state_epoch
+        self.builds += 1
+
+    def _scan(self) -> bool:
+        """Reconcile kernel arcs with the physical state (the epoch
+        moved); absorbs capacity deltas, detects flow divergence."""
+        kernel = self._kernel
+        if kernel is None:
+            return False
+        cap = kernel.cap
+        frozen = self._frozen
+        for link, a, boxes in self._link_tuples:
+            if link.occupied:
+                if cap[a] or cap[a ^ 1]:
+                    return False
+            else:
+                if a in frozen or cap[a ^ 1]:
+                    return False
+                usable = not link.failed
+                for box in boxes:
+                    if box.failed:
+                        usable = False
+                        break
+                cap[a] = 1 if usable else 0
+        for res, a in self._res_tuples:
+            if res.busy:
+                if cap[a] or cap[a ^ 1]:
+                    return False
+            else:
+                if a in frozen or cap[a ^ 1]:
+                    return False
+                cap[a] = 0 if res.failed else 1
+        return True
+
+    def _adopt_epoch(self, expected: int) -> None:
+        """Stay on the epoch fast path only when the MRSIN moved by
+        *exactly* the bumps our paired mutator produces (or not at all
+        — the paired call was skipped).  Any other movement means a
+        foreign mutation slipped in; the recorded epoch is left stale
+        so the next cycle runs the reconciliation scan."""
+        delta = self.mrsin.state_epoch - self._synced_epoch
+        if delta == 0 or delta == expected:
+            self._synced_epoch = self.mrsin.state_epoch
+
+    def _delta_paths(
+        self, kernel: FlowKernel, touched: Sequence[int] | None = None
+    ) -> list[list[int]]:
+        """Decompose the uncommitted flow into s-t paths of kernel arcs.
+
+        Mirrors ``FlowNetwork.decompose_paths(above_lower=True)``:
+        frozen pairs are (0, 0) so only the new flow shows up, and a
+        revisited node cuts the enclosed cycle out of the path.  Cycle
+        components (cut or unreachable) carry no s-t value; their flow
+        is cancelled in place so it cannot read as stale flow later.
+
+        ``touched`` (the arc ids the solve pushed on) narrows the
+        candidate scan from every arc pair to the pairs the solve
+        actually moved: new flow can only sit on a pushed-on pair, so
+        the candidate sets are identical — sorting keeps the extraction
+        order (and therefore the mapping) byte-for-byte deterministic
+        with the full scan.
+        """
+        cap = kernel.cap
+        to = kernel.to
+        if touched is None:
+            candidates: Sequence[int] = range(0, kernel.n_arcs, 2)
+        else:
+            candidates = sorted({a & -2 for a in touched})
+        delta = [a for a in candidates if cap[a ^ 1]]
+        avail: dict[int, int] = {}
+        out: dict[int, list[int]] = {}
+        for a in delta:
+            avail[a] = cap[a ^ 1]
+            out.setdefault(to[a ^ 1], []).append(a)
+        paths: list[list[int]] = []
+        cut_arcs: list[int] = []
+        s, t = self._s, self._t
+        source_out = out.get(s, [])
+        while True:
+            start = -1
+            for a in source_out:
+                if avail[a]:
+                    start = a
+                    break
+            if start < 0:
+                break
+            avail[start] -= 1
+            path = [start]
+            on_path = {s: 0, to[start]: 1}
+            v = to[start]
+            while v != t:
+                nxt = -1
+                for a in out.get(v, ()):
+                    if avail[a]:
+                        nxt = a
+                        break
+                if nxt < 0:
+                    raise RuntimeError(
+                        "kernel delta decomposition ran out of flow mid-path; "
+                        "the residual arrays violate conservation"
+                    )
+                avail[nxt] -= 1
+                w = to[nxt]
+                pos = on_path.get(w)
+                if pos is not None:
+                    # Cycle: cut it out of the path; its units are
+                    # cancelled below, exactly like decompose_paths.
+                    cut_arcs.extend(path[pos:])
+                    cut_arcs.append(nxt)
+                    for a in path[pos:]:
+                        on_path.pop(to[a], None)
+                    del path[pos:]
+                    v = w
+                    continue
+                path.append(nxt)
+                on_path[w] = len(path)
+                v = w
+            paths.append(path)
+        for a in cut_arcs:
+            cap[a] += 1
+            cap[a ^ 1] -= 1
+        for a, left in avail.items():
+            if left:
+                cap[a] += left
+                cap[a ^ 1] -= left
+        return paths
+
+    def _path_arcs(
+        self, processor: int, links: Sequence[Link], resource: int
+    ) -> list[int] | None:
+        """The kernel arc path (source, links, sink) of a circuit."""
+        src = self._src_pair.get(processor)
+        dst = self._sink_pair.get(resource)
+        if self._kernel is None or src is None or dst is None:
+            return None
+        arcs = [src]
+        for link in links:
+            a = self._arc_of_link.get(link.index)
+            if a is None:
+                return None
+            arcs.append(a)
+        arcs.append(dst)
+        return arcs
+
+    def _retract(self, arcs: list[int]) -> None:
+        """Remove one committed unit of flow along a circuit's arcs."""
+        kernel = self._kernel
+        if kernel is None:
+            return
+        cap = kernel.cap
+        for a in arcs:
+            self._frozen.discard(a)
+            cap[a] = 1
+            cap[a ^ 1] = 0
+        src = arcs[0]  # s -> (p, i): closed until the processor requests again
+        cap[src] = 0
+        self._enabled.discard(self._proc_of_arc[src])
+
+    def _rollback_pending(self) -> None:
+        """Drop un-committed flow from a solve whose mapping went unused."""
+        kernel = self._kernel
+        if self._pending and kernel is not None:
+            cap = kernel.cap
+            for _proc, _res, arcs in self._pending:
+                for a in arcs:
+                    cap[a] = 1
+                    cap[a ^ 1] = 0
+        self._pending = None
+        self._pending_mapping = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kernel = self._kernel
+        state = "empty" if kernel is None else f"|E|={kernel.n_arcs // 2} pairs"
+        return (
+            f"KernelFlowEngine({self.mrsin.network.name!r}, {state}, "
             f"builds={self.builds}, warm_ticks={self.warm_ticks})"
         )

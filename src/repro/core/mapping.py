@@ -79,12 +79,19 @@ class Mapping:
             )
         )
 
-    def validate(self, mrsin: "MRSIN") -> None:
+    def validate(self, mrsin: "MRSIN", *, check_links: bool = True) -> None:
         """Check the mapping is simultaneously realisable on ``mrsin``.
 
         Verifies: distinct processors and resources, free available
         resources of the requested types, link-disjoint free paths.
         Raises :class:`ValueError` on the first violation.
+
+        ``check_links=False`` skips the per-link half (occupancy,
+        faults, disjointness) — for callers that are about to run those
+        exact checks anyway as part of an atomic establish, such as
+        :meth:`MRSIN.apply_mapping <repro.core.model.MRSIN.apply_mapping>`
+        delegating to :meth:`MultistageNetwork.establish_circuits
+        <repro.networks.topology.MultistageNetwork.establish_circuits>`.
         """
         procs = [a.request.processor for a in self.assignments]
         if len(set(procs)) != len(procs):
@@ -104,6 +111,8 @@ class Mapping:
                     f"type mismatch: request wants {a.request.resource_type!r}, "
                     f"resource {a.resource.index} is {actual.resource_type!r}"
                 )
+            if not check_links:
+                continue
             for link in a.path:
                 if link.occupied:
                     raise ValueError(f"path uses occupied link {link.index}")

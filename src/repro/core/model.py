@@ -65,6 +65,15 @@ class MRSIN:
         self.pending: list[Request] = []
         # resource index -> circuit currently transmitting into it.
         self._transmitting: dict[int, Circuit] = {}
+        # Monotonic counter bumped by every mutation of the state the
+        # warm-start engines mirror (circuits, busy flags, faults — not
+        # the request queue).  An engine that recorded the epoch while
+        # in sync can skip its reconciliation scan when the epoch is
+        # unchanged; see KernelFlowEngine in repro.core.incremental.
+        self.state_epoch = 0
+        # Set on every fail_* call; lets severed_resources() answer
+        # "nothing severed" in O(1) between fault events.
+        self._fault_dirty = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -171,17 +180,24 @@ class MRSIN:
 
         The mapping is validated first; on success each served request
         is removed from the queue and its resource enters the *busy*
-        state with an active transmission circuit.
+        state with an active transmission circuit.  The split is
+        check-then-mutate with no duplicated link checks: resource-side
+        validation here (``validate(check_links=False)``), link-side
+        validation inside the atomic
+        :meth:`~repro.networks.topology.MultistageNetwork.establish_circuits`
+        — together exactly the guarantees of a full ``validate`` call,
+        and any failure leaves the system untouched.
         """
-        mapping.validate(self)
-        circuits = []
-        for a in mapping.assignments:
-            circuit = self.network.establish_circuit(list(a.path))
+        mapping.validate(self, check_links=False)
+        circuits = self.network.establish_circuits(
+            [a.path for a in mapping.assignments]
+        )
+        for a, circuit in zip(mapping.assignments, circuits):
             self.resources[a.resource.index].busy = True
             self._transmitting[a.resource.index] = circuit
             if a.request in self.pending:
                 self.pending.remove(a.request)
-            circuits.append(circuit)
+        self.state_epoch += 1
         return circuits
 
     def complete_transmission(self, resource_index: int) -> None:
@@ -194,6 +210,7 @@ class MRSIN:
         if circuit is None:
             raise ValueError(f"resource {resource_index} has no transmitting circuit")
         self.network.release_circuit(circuit)
+        self.state_epoch += 1
 
     def complete_service(self, resource_index: int) -> None:
         """Mark a resource free again (its task finished).
@@ -203,9 +220,15 @@ class MRSIN:
         res = self.resources[resource_index]
         if not res.busy:
             raise ValueError(f"resource {resource_index} is not busy")
-        if resource_index in self._transmitting:
-            self.complete_transmission(resource_index)
+        # Inlined (rather than delegated to complete_transmission) so
+        # the whole operation bumps state_epoch exactly once — the warm
+        # kernel engine's epoch protocol counts one bump per public
+        # mutator call.
+        circuit = self._transmitting.pop(resource_index, None)
+        if circuit is not None:
+            self.network.release_circuit(circuit)
         res.busy = False
+        self.state_epoch += 1
 
     def reset(self) -> None:
         """Drop all requests, circuits, busy states, and faults."""
@@ -216,6 +239,8 @@ class MRSIN:
         for res in self.resources:
             res.busy = False
             res.failed = False
+        self.state_epoch += 1
+        self._fault_dirty = False
 
     # ------------------------------------------------------------------
     # Fault lifecycle
@@ -233,6 +258,8 @@ class MRSIN:
         if link.failed:
             return False
         link.failed = True
+        self.state_epoch += 1
+        self._fault_dirty = True
         return True
 
     def repair_link(self, index: int) -> bool:
@@ -241,6 +268,7 @@ class MRSIN:
         if not link.failed:
             return False
         link.failed = False
+        self.state_epoch += 1
         return True
 
     def fail_switchbox(self, stage: int, box: int) -> bool:
@@ -249,6 +277,8 @@ class MRSIN:
         if sb.failed:
             return False
         sb.failed = True
+        self.state_epoch += 1
+        self._fault_dirty = True
         return True
 
     def repair_switchbox(self, stage: int, box: int) -> bool:
@@ -257,6 +287,7 @@ class MRSIN:
         if not sb.failed:
             return False
         sb.failed = False
+        self.state_epoch += 1
         return True
 
     def fail_resource(self, index: int) -> bool:
@@ -265,6 +296,8 @@ class MRSIN:
         if res.failed:
             return False
         res.failed = True
+        self.state_epoch += 1
+        self._fault_dirty = True
         return True
 
     def repair_resource(self, index: int) -> bool:
@@ -273,6 +306,7 @@ class MRSIN:
         if not res.failed:
             return False
         res.failed = False
+        self.state_epoch += 1
         return True
 
     def failed_components(self) -> dict[str, list]:
@@ -290,7 +324,16 @@ class MRSIN:
         when its in-flight transmission circuit crosses a failed link
         or switchbox.  Severed allocations must be reclaimed with
         :meth:`revoke` before their links/resources can be reused.
+
+        Severance can only *appear* through a ``fail_*`` call (circuits
+        are never established across failed components), so between
+        fault events this answers from a cached "no faults since the
+        last empty scan" flag in O(1) instead of walking every
+        transmitting circuit; the full scan keeps running while severed
+        allocations linger un-revoked.
         """
+        if not self._fault_dirty:
+            return []
         severed: set[int] = set()
         for idx, circuit in self._transmitting.items():
             if self.resources[idx].failed or self.network.circuit_severed(circuit):
@@ -298,6 +341,8 @@ class MRSIN:
         for res in self.resources:
             if res.failed and res.busy:
                 severed.add(res.index)
+        if not severed:
+            self._fault_dirty = False
         return sorted(severed)
 
     def revoke(self, resource_index: int) -> Circuit | None:
@@ -316,6 +361,7 @@ class MRSIN:
         if circuit is not None:
             self.network.release_circuit(circuit)
         res.busy = False
+        self.state_epoch += 1
         return circuit
 
     # ------------------------------------------------------------------

@@ -40,8 +40,9 @@ from repro.core.transform import (
     transformation1,
     transformation2,
 )
-from repro.core.incremental import IncrementalFlowEngine
+from repro.core.incremental import IncrementalFlowEngine, KernelFlowEngine
 from repro.flows.dinic import dinic
+from repro.flows.kernel import kernel_solve
 from repro.flows.maxflow import edmonds_karp, ford_fulkerson
 from repro.flows.mincost import cycle_cancel_min_cost, min_cost_flow
 from repro.flows.multicommodity import (
@@ -90,6 +91,9 @@ MAXFLOW_ALGORITHMS = {
     "edmonds_karp": edmonds_karp,
     "ford_fulkerson": ford_fulkerson,
     "push_relabel": push_relabel,
+    # The flat-array CSR kernel (repro.flows.kernel): compiles the
+    # problem network, solves on int arrays, writes flows back.
+    "kernel": kernel_solve,
 }
 
 MINCOST_ALGORITHMS = ("out_of_kilter", "ssp", "cycle_cancel", "network_simplex")
@@ -181,13 +185,14 @@ class OptimalScheduler:
         mrsin: MRSIN,
         requests: Sequence[Request] | None = None,
         *,
-        engine: "IncrementalFlowEngine",
+        engine: "IncrementalFlowEngine | KernelFlowEngine",
     ) -> Mapping:
         """Warm-start variant of :meth:`schedule`.
 
         Homogeneous cycles are solved on ``engine``'s persistent
-        network — usually 0–2 Dinic phases atop the standing flow
-        instead of a full rebuild-and-solve — and allocate exactly as
+        network (either the object-graph engine or the flat-array
+        kernel engine) — usually 0–2 Dinic phases atop the standing
+        flow instead of a full rebuild-and-solve — and allocate exactly as
         many requests as the cold path would on the same state.  Any
         other discipline (priorities, heterogeneity) falls back to the
         cold per-cycle solve.

@@ -19,6 +19,9 @@ used only as a cross-check oracle in the test suite):
 - :mod:`repro.flows.maxflow` — Ford–Fulkerson labeling (BFS/DFS).
 - :mod:`repro.flows.dinic` — Dinic's algorithm with explicit layered
   networks (the object realized in hardware by Section IV).
+- :mod:`repro.flows.kernel` — the flat-int-array CSR Dinic kernel,
+  the production hot path (``FlowNetwork.compile()`` lowers onto it;
+  the object solvers remain the teaching/differential oracle).
 - :mod:`repro.flows.mincut` — min-cut extraction / optimality proof.
 - :mod:`repro.flows.mincost` — successive shortest paths and
   cycle-canceling minimum-cost flow.
@@ -32,6 +35,7 @@ used only as a cross-check oracle in the test suite):
 """
 
 from repro.flows.graph import Arc, FlowNetwork
+from repro.flows.kernel import CompiledNetwork, FlowKernel, KernelResult, kernel_solve
 from repro.flows.maxflow import MaxFlowResult, edmonds_karp, ford_fulkerson
 from repro.flows.push_relabel import push_relabel
 from repro.flows.dinic import LayeredNetwork, DinicResult, build_layered_network, dinic
@@ -54,6 +58,10 @@ from repro.flows.validate import check_flow, is_integral
 __all__ = [
     "Arc",
     "FlowNetwork",
+    "CompiledNetwork",
+    "FlowKernel",
+    "KernelResult",
+    "kernel_solve",
     "MaxFlowResult",
     "edmonds_karp",
     "ford_fulkerson",

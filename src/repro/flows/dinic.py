@@ -135,7 +135,7 @@ def blocking_flow(
     layered: LayeredNetwork,
     *,
     counter: OpCounter | None = None,
-) -> float:
+) -> int:
     """Saturate every s-t path of the layered network (maximal flow).
 
     Depth-first search with move pruning: a move that dead-ends is
@@ -146,9 +146,9 @@ def blocking_flow(
     Returns the amount of flow added to the underlying network.
     """
     if not layered.reaches_sink:
-        return 0.0
+        return 0
     source, sink = layered.source, layered.sink
-    total = 0  # stays int on integer-capacity networks
+    total = 0
     # Mutable per-node move cursors; exhausted moves are popped.
     moves = {node: list(ms) for node, ms in layered.moves.items()}
     while True:
@@ -206,7 +206,9 @@ class DinicResult:
     Attributes
     ----------
     value:
-        The maximum flow.
+        The maximum flow.  Integral: capacities and lower bounds are
+        ints (Theorem 1's unit-capacity construction), so every
+        augmentation amount is an int.
     phases:
         Number of layered-network phases executed (each corresponds to
         one scheduling iteration of the distributed architecture).
@@ -216,7 +218,7 @@ class DinicResult:
         that compare hardware token propagation against software Dinic.
     """
 
-    value: float
+    value: int
     phases: int
     layered_networks: list[LayeredNetwork] = field(default_factory=list)
 
@@ -238,7 +240,7 @@ def dinic(
     """
     phases = 0
     recorded: list[LayeredNetwork] = []
-    value = net.flow_value(source) if source in net else 0.0
+    value = net.flow_value(source) if source in net else 0
     while True:
         layered = build_layered_network(net, source, sink, counter=counter)
         if record_layers:

@@ -27,7 +27,10 @@ Design notes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
+
+if TYPE_CHECKING:  # deferred: kernel imports graph for its own types
+    from repro.flows.kernel import CompiledNetwork
 
 __all__ = ["Arc", "FlowNetwork", "Node"]
 
@@ -271,6 +274,21 @@ class FlowNetwork:
             new = dup.add_arc(arc.tail, arc.head, arc.capacity, arc.cost, arc.lower)
             new.flow = arc.flow
         return dup
+
+    def compile(self) -> "CompiledNetwork":
+        """Lower this network onto the flat-array flow kernel.
+
+        Returns a :class:`~repro.flows.kernel.CompiledNetwork` bound to
+        this network: object arc ``k`` becomes kernel arc pair
+        ``2 * k``, lower bounds are handled by the circulation
+        reduction, and solved flows are written back onto ``Arc.flow``.
+        The compiled form captures *structure* (nodes, capacities,
+        lower bounds); arcs added after compilation are not visible to
+        it — compile again after structural changes.
+        """
+        from repro.flows.kernel import CompiledNetwork
+
+        return CompiledNetwork(self)
 
     def decompose_paths(
         self, source: Node, sink: Node, *, above_lower: bool = False

@@ -1,0 +1,497 @@
+"""Flat-array CSR Dinic kernel — the hot-path max-flow engine.
+
+The paper's Section IV realises Dinic's algorithm in *hardware* because
+the per-phase work is regular and array-shaped: token propagation reads
+and writes fixed-layout state, never chases pointers.  This module is
+the software analogue.  Where :mod:`repro.flows.dinic` walks
+:class:`~repro.flows.graph.Arc` objects (attribute loads dominating the
+inner loop), :class:`FlowKernel` stores the whole residual network in
+flat integer lists:
+
+``head[v]``
+    First arc out of node ``v`` (``-1`` when none) — the entry point of
+    a per-node singly linked adjacency list.
+``next_arc[a]`` / ``to[a]``
+    Next arc in the tail node's list / head node of arc ``a``.
+``cap[a]``
+    *Residual* capacity of directed arc ``a``.  Pushing ``x`` units
+    along ``a`` is ``cap[a] -= x; cap[a ^ 1] += x`` — arcs are created
+    in **pairs** (forward even, reverse odd) so the reverse arc is
+    always ``a ^ 1``; no dictionary, no object, one XOR.
+``base[a]``
+    The original capacity, so the flow on a forward arc is always
+    ``base[a] - cap[a]`` (reverse arcs have ``base == 0``).
+
+Everything is a plain ``int``: PR 4's integral-flow migration (lint
+rule R003) guarantees every capacity, lower bound, and flow in the repo
+is integer-valued, so the kernel needs no float arithmetic anywhere —
+Theorem 2's integrality falls out of the representation.
+
+:meth:`FlowNetwork.compile() <repro.flows.graph.FlowNetwork.compile>`
+lowers an object graph (including lower bounds, via the standard
+circulation reduction) onto a kernel and maps solved flows back onto
+``Arc.flow``, so every existing consumer of the object API keeps
+working; :func:`kernel_solve` packages that round trip with the same
+call shape as the object solvers.  The object Dinic stays as the
+teaching implementation and the differential-test oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.util.counters import OpCounter
+
+if TYPE_CHECKING:  # import cycle: graph.compile() returns CompiledNetwork
+    from repro.flows.graph import FlowNetwork
+
+__all__ = ["FlowKernel", "CompiledNetwork", "KernelResult", "kernel_solve"]
+
+Node = Hashable
+
+#: Effectively-unbounded capacity for reduction arcs (fits any network
+#: whose real arc capacities sum below it; all MRSIN arcs are unit).
+INF_CAPACITY = 1 << 60
+
+
+class FlowKernel:
+    """A residual flow network as flat integer arrays.
+
+    Nodes are dense ints ``0..n_nodes-1``; arcs are dense ints created
+    in forward/reverse pairs (``a`` even, ``a ^ 1`` its reverse).  The
+    only mutable solver state is ``cap`` — callers may read and write
+    it directly to enable/disable arcs or freeze flow (the warm-start
+    engine does exactly that), as long as pair symmetry is respected:
+    flow on forward arc ``a`` is ``base[a] - cap[a]`` and must equal
+    ``cap[a ^ 1]`` minus the reverse base of 0.
+
+    Operation counters (``visits``/``scans``/``augmentations``/
+    ``pushes``/``phases``) accumulate across solves as plain ints; the
+    caller decides when to charge them to an
+    :class:`~repro.util.counters.OpCounter` (one aggregated charge per
+    solve instead of one call per node keeps the kernel hot loop free
+    of Python-level function calls).
+    """
+
+    def __init__(self, n_nodes: int = 0) -> None:
+        if n_nodes < 0:
+            raise ValueError(f"negative node count {n_nodes}")
+        self.n_nodes = n_nodes
+        self.head: list[int] = [-1] * n_nodes
+        self.next_arc: list[int] = []
+        self.to: list[int] = []
+        self.cap: list[int] = []
+        self.base: list[int] = []
+        # Cumulative operation counts (see class docstring).
+        self.visits = 0
+        self.scans = 0
+        self.augmentations = 0
+        self.pushes = 0
+        self.phases = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def n_arcs(self) -> int:
+        """Number of directed arcs (always even: forward/reverse pairs)."""
+        return len(self.to)
+
+    def add_node(self) -> int:
+        """Append one node; returns its index."""
+        self.head.append(-1)
+        self.n_nodes += 1
+        return self.n_nodes - 1
+
+    def add_arc(self, tail: int, head: int, capacity: int) -> int:
+        """Add a ``tail -> head`` arc pair; returns the forward arc id.
+
+        The reverse arc (id ``^ 1``) starts with zero capacity.  Unlike
+        the object graph, self-loops and parallel arcs are accepted —
+        the compiler, not the kernel, enforces model rules.
+        """
+        if capacity < 0:
+            raise ValueError(f"negative capacity {capacity} on {tail}->{head}")
+        if not (0 <= tail < self.n_nodes and 0 <= head < self.n_nodes):
+            raise ValueError(f"arc {tail}->{head} outside 0..{self.n_nodes - 1}")
+        a = len(self.to)
+        self.to.append(head)
+        self.next_arc.append(self.head[tail])
+        self.head[tail] = a
+        self.cap.append(capacity)
+        self.base.append(capacity)
+        self.to.append(tail)
+        self.next_arc.append(self.head[head])
+        self.head[head] = a + 1
+        self.cap.append(0)
+        self.base.append(0)
+        return a
+
+    def flow_of(self, arc: int) -> int:
+        """Current flow on forward arc ``arc`` (``base - cap``)."""
+        return self.base[arc] - self.cap[arc]
+
+    def reset(self) -> None:
+        """Restore every arc to its base capacity (zero flow)."""
+        self.cap[:] = self.base
+
+    # ------------------------------------------------------------------
+    # Dinic
+    # ------------------------------------------------------------------
+    def max_flow(
+        self,
+        source: int,
+        sink: int,
+        *,
+        levels: list[int] | None = None,
+        value_bound: int | None = None,
+        touched: list[int] | None = None,
+        paths_out: list[list[int]] | None = None,
+    ) -> int:
+        """Augment the current residual state to a maximum s-t flow.
+
+        Runs Dinic phases (BFS level build, then a blocking flow by
+        iterative DFS with per-node arc cursors) until the sink is
+        unreachable.  Augments *on top of* whatever flow the ``cap``
+        arrays already encode — warm starting is just calling this
+        again after nudging capacities.  Returns the flow added.
+
+        Three optional work-saving hooks (all preserve exactness):
+
+        ``levels``
+            A precomputed level labeling used for the *first* phase in
+            place of its BFS (a copy is taken; the caller's list is
+            never mutated).  Any labeling is sound: the blocking-flow
+            DFS only follows residual arcs that climb exactly one
+            level, so every path it pushes is a real augmenting path
+            and no cycle can form; phases after the first rebuild
+            levels by BFS as usual, so optimality never depends on the
+            hint.  On the layered Transformation-1 networks the node's
+            physical layer *is* its BFS level, making the hint exact.
+        ``value_bound``
+            A known upper bound on the flow this call can add (for the
+            warm engine: the number of enabled unit source arcs).  When
+            the augmented total reaches it the solve stops without the
+            terminating everyone-unreachable BFS — reaching a bound
+            that caps the max flow is already a certificate of
+            optimality.
+        ``touched``
+            When given, every arc id pushed on (forward or reverse,
+            duplicates included) is appended.  Lets the caller find the
+            flow delta of a warm solve by looking only at touched arc
+            pairs instead of scanning the whole arc array.
+        ``paths_out``
+            When given, each augmentation's arc path is appended (once
+            per augmentation, regardless of the units it pushed).  When
+            no reverse arc was ever pushed on — ``touched`` is all even
+            — no unit was cancelled or rerouted, so on unit-capacity
+            networks these paths *are* the flow-delta decomposition and
+            the caller can skip decomposing entirely.
+        """
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        n = self.n_nodes
+        head = self.head
+        next_arc = self.next_arc
+        to = self.to
+        cap = self.cap
+        total = 0
+        visits = scans = augmentations = pushes = 0
+        use_hint = levels is not None
+        while True:
+            if value_bound is not None and total >= value_bound:
+                break
+            if use_hint and levels is not None:
+                use_hint = False
+                level = list(levels)
+            else:
+                # --- BFS: level[v] = layered-network rank over useful arcs.
+                level = [-1] * n
+                level[source] = 0
+                queue = [source]
+                for v in queue:
+                    visits += 1
+                    lv = level[v] + 1
+                    a = head[v]
+                    while a != -1:
+                        scans += 1
+                        if cap[a] > 0:
+                            w = to[a]
+                            if level[w] < 0:
+                                level[w] = lv
+                                queue.append(w)
+                        a = next_arc[a]
+                if level[sink] < 0:
+                    break
+            self.phases += 1
+            # --- Blocking flow: iterative DFS with arc cursors.  A
+            # node whose moves are exhausted is pruned from the level
+            # graph (level[v] = -1), the software mirror of the paper's
+            # "marking cleared when a resource token backtracks" rule.
+            cursor = list(head)
+            path: list[int] = []
+            v = source
+            while True:
+                if v == sink:
+                    aug = min(cap[a] for a in path)
+                    for a in path:
+                        cap[a] -= aug
+                        cap[a ^ 1] += aug
+                    total += aug
+                    augmentations += 1
+                    pushes += len(path)
+                    if touched is not None:
+                        touched.extend(path)
+                    if paths_out is not None:
+                        paths_out.append(list(path))
+                    # Retreat to the tail of the first saturated arc.
+                    for i, a in enumerate(path):  # pragma: no branch
+                        if cap[a] == 0:
+                            del path[i:]
+                            v = to[a ^ 1]
+                            break
+                    continue
+                visits += 1
+                a = cursor[v]
+                lv = level[v] + 1
+                while a != -1:
+                    scans += 1
+                    if cap[a] > 0 and level[to[a]] == lv:
+                        break
+                    a = next_arc[a]
+                cursor[v] = a
+                if a != -1:
+                    path.append(a)
+                    v = to[a]
+                    continue
+                if v == source:
+                    break
+                level[v] = -1  # dead end: prune for the rest of the phase
+                back = path.pop()
+                v = to[back ^ 1]
+        self.visits += visits
+        self.scans += scans
+        self.augmentations += augmentations
+        self.pushes += pushes
+        return total
+
+    def charge(self, counter: OpCounter | None, baseline: tuple[int, int, int, int]) -> None:
+        """Charge op-count deltas since ``baseline`` to ``counter``.
+
+        ``baseline`` is a :meth:`snapshot` taken before the solve; the
+        keys match the object solvers' cost model so
+        ``instructions_per_allocation`` stays comparable.
+        """
+        if counter is None:
+            return
+        v0, s0, a0, p0 = baseline
+        counter.charge("node_visit", self.visits - v0)
+        counter.charge("arc_scan", self.scans - s0)
+        counter.charge("augmentation", self.augmentations - a0)
+        counter.charge("arc_update", self.pushes - p0)
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        """Current op counts, for delta charging around one solve."""
+        return (self.visits, self.scans, self.augmentations, self.pushes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlowKernel(|V|={self.n_nodes}, |E|={self.n_arcs // 2} pairs)"
+
+
+@dataclass
+class KernelResult:
+    """Outcome of a kernel max-flow solve (shape-compatible with
+    :class:`~repro.flows.dinic.DinicResult` where the schedulers care:
+    ``value`` and ``phases``)."""
+
+    value: int
+    phases: int
+
+
+class CompiledNetwork:
+    """A :class:`~repro.flows.graph.FlowNetwork` lowered to a kernel.
+
+    Built by :meth:`FlowNetwork.compile()
+    <repro.flows.graph.FlowNetwork.compile>`.  The lowering is
+    positional: object arc ``k`` becomes kernel arc pair ``2 * k``, so
+    callers holding object arc indices can address kernel state with a
+    shift, no dictionaries.  Nodes get dense ids in insertion order
+    (``node_of``).
+
+    Lower bounds use the standard circulation reduction, materialised
+    at compile time when any arc has ``lower > 0``: arc capacities are
+    reduced to ``capacity - lower``, per-node imbalances are wired to a
+    super source/sink pair, and :meth:`solve` runs a feasibility phase
+    before the real max flow.  Networks without lower bounds (every
+    Transformation-1 problem) skip all of that.
+
+    ``solve`` seeds the kernel from the network's *current* flow
+    assignment (the object solvers' augment-on-top contract) and
+    :meth:`readback` writes the solved flow onto ``Arc.flow``, so the
+    object graph remains the single source of truth between solves.
+    """
+
+    def __init__(self, net: "FlowNetwork") -> None:
+        self.net = net
+        self.node_of: dict[Node, int] = {}
+        kernel = FlowKernel()
+        for node in net.nodes:
+            self.node_of[node] = kernel.add_node()
+        self.has_lower = any(arc.lower > 0 for arc in net.arcs)
+        node_of = self.node_of
+        for arc in net.arcs:
+            kernel.add_arc(
+                node_of[arc.tail], node_of[arc.head], arc.capacity - arc.lower
+            )
+        self.n_base_arcs = kernel.n_arcs
+        # Circulation-reduction plumbing (only when lower bounds exist):
+        # per-node imbalance arcs from/to a super source/sink.
+        self._super_source = -1
+        self._super_sink = -1
+        self._excess_arcs: list[int] = []
+        self._return_arc = -1
+        self._required_excess = 0
+        if self.has_lower:
+            self._super_source = kernel.add_node()
+            self._super_sink = kernel.add_node()
+            excess = [0] * (kernel.n_nodes)
+            for arc in net.arcs:
+                if arc.lower:
+                    excess[node_of[arc.head]] += arc.lower
+                    excess[node_of[arc.tail]] -= arc.lower
+            for v, e in enumerate(excess):
+                if e > 0:
+                    self._excess_arcs.append(
+                        kernel.add_arc(self._super_source, v, e)
+                    )
+                    self._required_excess += e
+                elif e < 0:
+                    self._excess_arcs.append(
+                        kernel.add_arc(v, self._super_sink, -e)
+                    )
+        self.kernel = kernel
+
+    # ------------------------------------------------------------------
+    def seed_from_flow(self) -> None:
+        """Load the network's current ``Arc.flow`` into the kernel.
+
+        Every flow must already sit within ``[lower, capacity]`` (the
+        repo-wide invariant between solves); violations raise
+        ``ValueError`` rather than silently producing a wrong residual
+        network.
+        """
+        cap = self.kernel.cap
+        for k, arc in enumerate(self.net.arcs):
+            flow = arc.flow
+            if flow < arc.lower or flow > arc.capacity:
+                raise ValueError(
+                    f"flow {flow} outside [{arc.lower}, {arc.capacity}] on "
+                    f"{arc!r}; cannot seed the kernel from an illegal flow"
+                )
+            a = 2 * k
+            cap[a] = arc.capacity - flow
+            cap[a + 1] = flow - arc.lower
+        for a in self._excess_arcs:
+            cap[a] = self.kernel.base[a]
+            cap[a + 1] = 0
+
+    def _feasible_circulation(self, source: int, sink: int) -> None:
+        """Satisfy all lower bounds (cold start only): saturate the
+        super source through a temporary ``sink -> source`` return arc."""
+        kernel = self.kernel
+        if self._return_arc < 0:
+            self._return_arc = kernel.add_arc(sink, source, 0)
+        ret = self._return_arc
+        kernel.cap[ret] = INF_CAPACITY
+        kernel.cap[ret + 1] = 0
+        pushed = kernel.max_flow(self._super_source, self._super_sink)
+        if pushed != self._required_excess:
+            kernel.cap[ret] = 0
+            kernel.cap[ret + 1] = 0
+            raise ValueError(
+                f"lower bounds are infeasible: circulation satisfied {pushed} "
+                f"of {self._required_excess} required units"
+            )
+        # Freeze the reduction arcs so the s-t phase cannot disturb the
+        # satisfying circulation, then drop the return arc (its flow is
+        # exactly the s-t flow already embedded in the base arcs).
+        cap = kernel.cap
+        for a in self._excess_arcs:
+            cap[a] = 0
+            cap[a + 1] = 0
+        cap[ret] = 0
+        cap[ret + 1] = 0
+
+    def solve(self, source: Node, sink: Node, *, counter: OpCounter | None = None) -> KernelResult:
+        """Max flow from ``source`` to ``sink``; flows land on ``Arc.flow``.
+
+        Seeds the kernel from the current assignment when it is legal
+        for the lower bounds; otherwise (a cold network with unmet
+        lower bounds, i.e. every ``flow < lower`` case is the all-zero
+        start) runs the circulation feasibility phase first.  Raises
+        ``ValueError`` when the lower bounds admit no feasible flow.
+        """
+        net = self.net
+        if source not in self.node_of or sink not in self.node_of:
+            return KernelResult(value=0, phases=0)
+        s = self.node_of[source]
+        t = self.node_of[sink]
+        kernel = self.kernel
+        phases0 = kernel.phases
+        baseline = kernel.snapshot()
+        needs_feasibility = self.has_lower and any(
+            arc.flow < arc.lower for arc in net.arcs
+        )
+        if needs_feasibility:
+            if any(arc.flow for arc in net.arcs):
+                raise ValueError(
+                    "cannot warm-start a lower-bounded solve from a partial "
+                    "assignment; zero the flow or satisfy the lower bounds"
+                )
+            kernel.reset()
+            self._feasible_circulation(s, t)
+        else:
+            self.seed_from_flow()
+        kernel.max_flow(s, t)
+        kernel.charge(counter, baseline)
+        self.readback()
+        return KernelResult(
+            value=net.flow_value(source), phases=kernel.phases - phases0
+        )
+
+    def readback(self) -> None:
+        """Write the kernel's flow assignment back onto ``Arc.flow``."""
+        cap = self.kernel.cap
+        base = self.kernel.base
+        for k, arc in enumerate(self.net.arcs):
+            a = 2 * k
+            arc.flow = arc.lower + base[a] - cap[a]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lowered = ", +circulation" if self.has_lower else ""
+        return f"CompiledNetwork({self.kernel!r}{lowered})"
+
+
+def kernel_solve(
+    net: "FlowNetwork",
+    source: Node,
+    sink: Node,
+    *,
+    counter: OpCounter | None = None,
+    record_layers: bool = False,
+) -> KernelResult:
+    """Drop-in max-flow entry point backed by the flat-array kernel.
+
+    Call-compatible with :func:`repro.flows.dinic.dinic` for the
+    scheduler's purposes (augments on top of the current assignment,
+    returns an object with ``value``/``phases``); ``record_layers`` is
+    accepted for signature parity but layered networks are an
+    object-solver concept and are not recorded here.
+    """
+    if record_layers:
+        raise ValueError(
+            "the kernel does not materialise layered networks; use the "
+            "object dinic solver to record them"
+        )
+    return net.compile().solve(source, sink, counter=counter)

@@ -28,14 +28,15 @@ def check_flow(
     sink: Hashable | None = None,
     *,
     eps: float = EPS,
-) -> float:
+) -> int:
     """Verify the current assignment is a legal flow; return its value.
 
     Conservation is enforced at every node except ``source`` and
     ``sink``.  If both terminals are given, the net outflow of the
     source must equal the net inflow of the sink and that common value
     is returned; with no terminals, the assignment must be a
-    circulation and 0.0 is returned.
+    circulation and 0 is returned.  Arc flows are ints (Theorem 2), so
+    the value is too; ``eps`` only cushions the legality comparisons.
 
     Raises
     ------
@@ -55,7 +56,7 @@ def check_flow(
         if abs(imbalance) > eps:
             raise FlowViolation(f"conservation violated at {node!r}: net outflow {imbalance}")
     if source is None:
-        return 0.0
+        return 0
     value = net.net_outflow(source)
     if sink is not None:
         sink_value = -net.net_outflow(sink)

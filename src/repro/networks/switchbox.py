@@ -61,6 +61,17 @@ class Switchbox:
         self._check_port(port, self.n_out, "output")
         return port not in self._out_to_in
 
+    def ports_free(self, in_port: int, out_port: int) -> bool:
+        """Whether both ``in_port`` and ``out_port`` are unconnected.
+
+        One bounds-checked call instead of an :meth:`input_free` /
+        :meth:`output_free` pair — the circuit-establishment hot path
+        asks this for every hop of every path in a batch.
+        """
+        self._check_port(in_port, self.n_in, "input")
+        self._check_port(out_port, self.n_out, "output")
+        return in_port not in self._in_to_out and out_port not in self._out_to_in
+
     def output_for(self, in_port: int) -> int | None:
         """Output port connected to ``in_port`` (None if free)."""
         self._check_port(in_port, self.n_in, "input")

@@ -278,15 +278,77 @@ class MultistageNetwork:
         self.circuits.append(circuit)
         return circuit
 
+    def establish_circuits(self, paths: Sequence[Sequence[Link]]) -> list[Circuit]:
+        """Atomically establish one circuit per path (all-or-nothing).
+
+        Performs every :meth:`establish_circuit` check for *all* paths
+        — shape, occupancy, faults, switch-port availability, plus
+        link-disjointness *across* the batch — before mutating any
+        state, so a :class:`ValueError` on any path leaves the network
+        untouched.  This is the scheduling-cycle hot path: one combined
+        check-then-mutate pass over a whole mapping instead of a
+        validate pass followed by per-circuit re-checks.
+        """
+        stages = self.stages
+        seen: set[int] = set()
+        staged: list[tuple[int, int, Sequence[Link], list[tuple]]] = []
+        for links in paths:
+            processor, resource = self._validate_path(links)
+            for link in links:
+                if link.occupied:
+                    raise ValueError(f"link {link.index} already occupied")
+                if link.failed:
+                    raise ValueError(f"link {link.index} has failed")
+                if link.index in seen:
+                    raise ValueError(f"two paths share link {link.index}")
+                seen.add(link.index)
+            hops: list[tuple] = []
+            prev = links[0]
+            for nxt in links[1:]:
+                end = prev.dst
+                box = stages[end.stage][end.box]
+                if box.failed:
+                    raise ValueError(f"{box} has failed")
+                if not box.ports_free(end.port, nxt.src.port):
+                    if not box.input_free(end.port):
+                        raise ValueError(f"{box} input {end.port} busy")
+                    raise ValueError(f"{box} output {nxt.src.port} busy")
+                hops.append((box, end.port, nxt.src.port))
+                prev = nxt
+            staged.append((processor, resource, links, hops))
+        circuits: list[Circuit] = []
+        for processor, resource, links, hops in staged:
+            for box, port_in, port_out in hops:
+                box.connect(port_in, port_out)
+            for link in links:
+                link.occupied = True
+            circuit = Circuit(
+                processor=processor, resource=resource, links=tuple(links)
+            )
+            self.circuits.append(circuit)
+            circuits.append(circuit)
+        return circuits
+
     def release_circuit(self, circuit: Circuit) -> None:
         """Tear down a previously established circuit."""
-        if circuit not in self.circuits:
-            raise ValueError("circuit not active on this network")
+        # Identity scan first: circuits handed out by establish_circuit
+        # come back as the same objects, and `is` skips the deep
+        # dataclass comparison `in`/`remove` would run per entry.
+        at = -1
+        for i, active in enumerate(self.circuits):
+            if active is circuit:
+                at = i
+                break
+        if at < 0:
+            try:
+                at = self.circuits.index(circuit)
+            except ValueError:
+                raise ValueError("circuit not active on this network") from None
         for a, b in zip(circuit.links, circuit.links[1:]):
             self.box(a.dst.stage, a.dst.box).disconnect(a.dst.port)
         for link in circuit.links:
             link.occupied = False
-        self.circuits.remove(circuit)
+        del self.circuits[at]
 
     def release_all(self) -> None:
         """Release every circuit and clear all switch state."""

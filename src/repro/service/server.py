@@ -58,7 +58,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.heuristic import greedy_schedule
-from repro.core.incremental import IncrementalFlowEngine
+from repro.core.incremental import IncrementalFlowEngine, KernelFlowEngine
 from repro.core.model import MRSIN
 from repro.core.requests import Request
 from repro.core.scheduler import OptimalScheduler
@@ -140,13 +140,19 @@ class ServiceConfig:
     maxflow, mincost:
         Solver choices forwarded to :class:`OptimalScheduler`.
     warm_start:
-        Keep one persistent Transformation-1 network
-        (:class:`~repro.core.incremental.IncrementalFlowEngine`) across
-        ticks and warm-start Dinic from the standing flow, instead of
-        rebuilding the network from scratch every cycle.  Allocation
-        counts are identical either way; only steady-state tick cost
-        changes.  Disable to force the cold from-scratch path (the
-        benchmark comparator).
+        Keep one persistent Transformation-1 network across ticks and
+        warm-start Dinic from the standing flow, instead of rebuilding
+        the network from scratch every cycle.  Allocation counts are
+        identical either way; only steady-state tick cost changes.
+        Disable to force the cold from-scratch path (the benchmark
+        comparator).
+    warm_engine:
+        Which warm engine backs ``warm_start``: ``"kernel"`` (default)
+        runs ticks on the flat-array CSR kernel
+        (:class:`~repro.core.incremental.KernelFlowEngine`);
+        ``"object"`` keeps the object-graph
+        :class:`~repro.core.incremental.IncrementalFlowEngine` — the
+        teaching implementation and differential oracle.
     fault_budget:
         How many *consecutive* failing scheduling cycles the tick loop
         absorbs (invalidating the warm engine and retrying next tick)
@@ -162,6 +168,7 @@ class ServiceConfig:
     maxflow: str = "dinic"
     mincost: str = "out_of_kilter"
     warm_start: bool = True
+    warm_engine: str = "kernel"
     fault_budget: int = 0
 
     def __post_init__(self) -> None:
@@ -173,6 +180,10 @@ class ServiceConfig:
             raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
         if self.degrade_watermark is not None and self.degrade_watermark < 0:
             raise ValueError("degrade_watermark must be >= 0")
+        if self.warm_engine not in ("kernel", "object"):
+            raise ValueError(
+                f"warm_engine must be 'kernel' or 'object', got {self.warm_engine!r}"
+            )
         if self.fault_budget < 0:
             raise ValueError(f"fault_budget must be >= 0, got {self.fault_budget}")
 
@@ -202,12 +213,32 @@ class Lease:
     transmitting: bool = True
     active: bool = True
     revoked: bool = False
-    revocation: asyncio.Event = field(default_factory=asyncio.Event)
+    _revocation: asyncio.Event | None = field(default=None, repr=False)
+
+    @property
+    def revocation(self) -> asyncio.Event:
+        """The revocation push-notification event, created on first use.
+
+        Lazily built so the allocation hot path (thousands of leases
+        per second, almost none of them ever awaited on) does not pay
+        for an :class:`asyncio.Event` per grant; the service sets it at
+        revocation time only if a holder ever asked for it.
+        """
+        if self._revocation is None:
+            self._revocation = asyncio.Event()
+            if self.revoked:
+                self._revocation.set()
+        return self._revocation
 
 
-@dataclass
+@dataclass(eq=False)
 class _Entry:
-    """One queued acquire() call."""
+    """One queued acquire() call.
+
+    ``eq=False``: entries are compared (and removed from the queue) by
+    identity — field-wise dataclass equality would deep-compare
+    requests and futures on every ``list.remove`` scan.
+    """
 
     request: Request
     future: asyncio.Future
@@ -253,11 +284,13 @@ class AllocationService:
             mincost=self.config.mincost,
             counter=self.counter,
         )
-        self._engine = (
-            IncrementalFlowEngine(mrsin, counter=self.counter)
-            if self.config.warm_start
-            else None
-        )
+        self._engine: IncrementalFlowEngine | KernelFlowEngine | None
+        if not self.config.warm_start:
+            self._engine = None
+        elif self.config.warm_engine == "kernel":
+            self._engine = KernelFlowEngine(mrsin, counter=self.counter)
+        else:
+            self._engine = IncrementalFlowEngine(mrsin, counter=self.counter)
         self._queue: list[_Entry] = []
         self._leases: dict[int, Lease] = {}
         self._ids = itertools.count(1)

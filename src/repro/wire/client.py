@@ -12,8 +12,10 @@ Failure surface:
   :class:`WireRejected` / :class:`WireTimeout` /
   :class:`WireLeaseRevoked` / :class:`WireRemoteError`;
 - a reply not arriving within ``request_timeout`` raises
-  :class:`WireTimeout` (the server may still grant later — the
-  server's disconnect auto-release is what makes that safe);
+  :class:`WireTimeout`; if the server grants the lease *after* the
+  client gave up, the reader answers the stale LEASE with an immediate
+  RELEASE so the resource is not stranded until disconnect
+  (``stale_replies`` counts every such late reply);
 - a dropped connection fails every pending waiter with
   :class:`WireConnectionError` and marks held leases revoked locally
   (the server has already auto-released them).
@@ -158,6 +160,11 @@ class WireClient:
         self._leases: dict[int, RemoteLease] = {}
         self._ids = itertools.count(1)
         self.protocol_errors = 0
+        #: Replies that arrived after their waiter gave up (timed out).
+        self.stale_replies = 0
+        #: Request ids of auto-RELEASEs sent for stale LEASE grants;
+        #: their OK replies are expected and not themselves stale.
+        self._auto_release_ids: set[int] = set()
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -355,6 +362,12 @@ class WireClient:
                 waiter = self._pending.get(frame.request_id)
                 if waiter is not None and not waiter.done():
                     waiter.set_result(frame)
+                elif frame.request_id in self._auto_release_ids:
+                    # The OK (or REVOKED) answering one of our own
+                    # auto-RELEASEs below; nobody is waiting for it.
+                    self._auto_release_ids.discard(frame.request_id)
+                else:
+                    await self._handle_stale(frame)
                 continue
             if frame.kind == "REVOKED":
                 lease_id = frame.get("lease_id")
@@ -365,6 +378,35 @@ class WireClient:
         self._writer = None
         self._reader = None
         self._fail_pending("connection lost")
+
+    async def _handle_stale(self, frame: Frame) -> None:
+        """A reply whose waiter already gave up (local timeout).
+
+        Dropping it on the floor was the PR-7 bug: a LEASE granted just
+        after the client's ``wait_for`` expired left the resource busy
+        on the server with no one ever releasing it.  Answer the grant
+        with an immediate RELEASE under a fresh request id (tracked so
+        its OK is not counted stale in turn); every other late reply is
+        only counted.
+        """
+        self.stale_replies += 1
+        if frame.kind != "LEASE":
+            return
+        lease_id = frame.get("lease_id")
+        if not isinstance(lease_id, int) or isinstance(lease_id, bool):
+            return
+        writer = self._writer
+        if writer is None:
+            return
+        release_id = next(self._ids)
+        self._auto_release_ids.add(release_id)
+        try:
+            writer.write(encode(make_release(release_id, lease_id)))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            # Connection went down with the grant in hand; the server's
+            # disconnect auto-release covers it from here.
+            self._auto_release_ids.discard(release_id)
 
     def _mark_revoked(self, lease_id: int) -> None:
         lease = self._leases.pop(lease_id, None)

@@ -152,12 +152,69 @@ class TestR003Integrality:
         report = lint_snippet(tmp_path, self.BAD_COERCION, modpath="core/incremental.py")
         assert rule_ids(report) == ["R003"]
 
+    BAD_RETURN_ANNOTATION = snippet("""
+        def blocking_flow(net, layered) -> float:
+            return net.value
+    """)
+    BAD_RETURN_LITERAL = snippet("""
+        def max_flow(net, source, sink):
+            if source not in net:
+                return 0.0
+            return net.value
+    """)
+    GOOD_COST_RETURN = snippet("""
+        def min_cost_flow_total(net) -> float:
+            return sum(a.cost for a in net.arcs)
+    """)
+    GOOD_NESTED_HELPER = snippet("""
+        def push_flow(net):
+            def weight(arc) -> float:
+                return 0.5
+            return sum(1 for a in net.arcs if weight(a) > 0)
+    """)
+
     def test_good(self, tmp_path):
         assert lint_snippet(tmp_path, self.GOOD, modpath="flows/clean.py").findings == []
 
     def test_out_of_scope_module(self, tmp_path):
         # Float arithmetic outside the flow modules is not R003's business.
         assert lint_snippet(tmp_path, self.BAD_ASSIGN, modpath="sim/rates.py").findings == []
+
+    def test_bad_flow_return_annotation(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, self.BAD_RETURN_ANNOTATION, modpath="flows/solver3.py"
+        )
+        assert rule_ids(report) == ["R003"]
+        (f,) = report.findings
+        assert "blocking_flow" in f.message
+
+    def test_bad_flow_return_literal(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, self.BAD_RETURN_LITERAL, modpath="flows/solver4.py"
+        )
+        assert rule_ids(report) == ["R003"]
+        (f,) = report.findings
+        assert f.line == 3
+
+    def test_cost_functions_may_return_float(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, self.GOOD_COST_RETURN, modpath="flows/costs2.py"
+        )
+        assert report.findings == []
+
+    def test_nested_helpers_not_attributed_to_flow_function(self, tmp_path):
+        # The float return belongs to the nested cost helper, not to
+        # the enclosing flow-named function's own body.
+        report = lint_snippet(
+            tmp_path, self.GOOD_NESTED_HELPER, modpath="flows/helpers2.py"
+        )
+        assert report.findings == []
+
+    def test_relaxation_modules_exempt_from_return_checks(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, self.BAD_RETURN_ANNOTATION, modpath="flows/multicommodity.py"
+        )
+        assert report.findings == []
 
 
 class TestR004Encapsulation:

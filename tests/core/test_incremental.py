@@ -14,10 +14,13 @@ import pytest
 from repro.core import (
     MRSIN,
     IncrementalFlowEngine,
+    KernelFlowEngine,
     OptimalScheduler,
     Request,
 )
 from repro.networks import benes, omega
+
+ENGINES = [IncrementalFlowEngine, KernelFlowEngine]
 
 
 def cold_count(mrsin: MRSIN, reqs) -> int:
@@ -65,10 +68,11 @@ def run_lifecycle(mrsin: MRSIN, engine: IncrementalFlowEngine, rng, ticks: int) 
 
 
 class TestDifferential:
+    @pytest.mark.parametrize("engine_cls", ENGINES)
     @pytest.mark.parametrize("builder,size", [(omega, 8), (benes, 8), (omega, 16)])
-    def test_warm_matches_cold_every_tick(self, builder, size):
+    def test_warm_matches_cold_every_tick(self, builder, size, engine_cls):
         mrsin = MRSIN(builder(size))
-        engine = IncrementalFlowEngine(mrsin)
+        engine = engine_cls(mrsin)
         rng = np.random.default_rng(7)
         total = run_lifecycle(mrsin, engine, rng, ticks=60)
         assert total > 0

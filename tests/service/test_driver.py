@@ -93,14 +93,26 @@ class TestDriver:
 
     def test_batched_amortises_solver_cost(self):
         """The tentpole claim at the library level: batching spends
-        fewer solver instructions per allocation than one-per-solve."""
-        batched = run_service(spec(), rate=1.5, horizon=40.0, seed=13)
-        serial = run_service(spec(), rate=1.5, horizon=40.0, seed=13, max_batch=1)
+        fewer solver instructions per allocation than one-per-solve.
+
+        The rate is chosen so batching clears the whole demand — that
+        is the regime the claim is about.  At saturating rates the
+        comparison stops being meaningful: a serial service starves its
+        queue (most requests time out unserved), and the kernel's
+        value-bound certificate makes each trivial one-request solve
+        nearly free, so "instructions per allocation" rewards serving
+        almost nobody.  The starvation asserts below pin that contrast.
+        """
+        batched = run_service(spec(), rate=0.5, horizon=40.0, seed=13)
+        serial = run_service(spec(), rate=0.5, horizon=40.0, seed=13, max_batch=1)
         per_alloc = lambda r: (
             r.snapshot["solver_instructions"] / max(r.snapshot["allocated"], 1)
         )
         assert batched.allocated >= serial.allocated
         assert per_alloc(batched) < per_alloc(serial)
+        # Same traffic: batching serves everyone, one-per-tick starves.
+        assert batched.snapshot["timed_out"] == 0
+        assert serial.snapshot["timed_out"] > 0
 
     def test_rejects_nonpositive_rate(self):
         with pytest.raises(ValueError):

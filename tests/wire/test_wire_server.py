@@ -248,6 +248,91 @@ class TestRevocationPush:
 
 
 # ----------------------------------------------------------------------
+# Satellite: late replies after a local timeout are not dropped
+# ----------------------------------------------------------------------
+class TestStaleReplies:
+    def test_late_lease_grant_is_auto_released(self):
+        """A LEASE arriving after the client's wait expired must be
+        answered with a RELEASE — before this fix the grant was dropped
+        and the resource stayed busy until disconnect."""
+
+        async def scenario():
+            released: asyncio.Future = asyncio.get_running_loop().create_future()
+
+            async def handler(reader, writer):
+                # Grant the ACQUIRE only after the client gave up.
+                frame = protocol.decode(await reader.readline())
+                assert frame.kind == "ACQUIRE"
+                await asyncio.sleep(0.2)
+                writer.write(
+                    protocol.encode(
+                        protocol.make_lease(frame.request_id, 77, 3, 0.2)
+                    )
+                )
+                await writer.drain()
+                follow_up = protocol.decode(await reader.readline())
+                if not released.done():
+                    released.set_result(follow_up)
+                # Answer the RELEASE so the id-tracking path runs too.
+                writer.write(
+                    protocol.encode(
+                        protocol.Frame("OK", follow_up.request_id, {})
+                    )
+                )
+                await writer.drain()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = WireClient(host, port, request_timeout=0.05)
+                await client.connect()
+                with pytest.raises(WireTimeout):
+                    await client.acquire(0)
+                follow_up = await asyncio.wait_for(released, 2.0)
+                assert follow_up.kind == "RELEASE"
+                assert follow_up.get("lease_id") == 77
+                assert client.stale_replies == 1
+                # The stale grant never became a client-side lease.
+                assert client._leases == {}
+                # The OK answering our auto-RELEASE is not stale.
+                await asyncio.sleep(0.05)
+                assert client.stale_replies == 1
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_late_non_lease_reply_only_counted(self):
+        """Over the real stack: a server-side TIMEOUT reply landing
+        after the local wait expired bumps the counter and nothing
+        else — no RELEASE is owed for a reply that grants nothing."""
+
+        async def scenario():
+            async with stack(ports=4, tick=0.02) as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=2.0) as client:
+                    held = [await client.acquire(p) for p in range(4)]
+                    # Saturated: the server queues this ACQUIRE and
+                    # answers TIMEOUT at ~0.1s, after the 0.05s local
+                    # wait has already raised.
+                    with pytest.raises(WireTimeout):
+                        await client._request(
+                            protocol.make_acquire(
+                                next(client._ids), 0, timeout=0.1
+                            ),
+                            wait=0.05,
+                        )
+                    await poll_until(lambda: client.stale_replies == 1)
+                    for lease in held:
+                        await client.release(lease)
+                    assert service.active_leases == 0
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
 # Guards and error replies
 # ----------------------------------------------------------------------
 class TestGuards:
