@@ -9,8 +9,14 @@ chaos run).  ``repro.analysis`` moves enforcement to lint time:
 - :mod:`repro.analysis.engine` — file walking, AST parsing, the
   ``# repro: noqa RXXX -- justification`` suppression protocol, text
   and JSON reporting;
-- :mod:`repro.analysis.rules` — the rule catalog (R001–R005), one
-  class per invariant;
+- :mod:`repro.analysis.rules` — the syntactic rule catalog
+  (R001–R005), one class per invariant;
+- :mod:`repro.analysis.cfg` — per-function control-flow graphs with
+  await points and exception edges, plus a forward-dataflow fixpoint
+  solver, reusable by any flow-sensitive rule;
+- :mod:`repro.analysis.asyncsafe` — the flow-sensitive async-safety
+  rules (R006 await-interleaving races, R007 resource-custody escape
+  analysis, R008 wire-protocol conformance);
 - :mod:`repro.analysis.typing_gate` — the strict-mypy configuration
   (strict packages, permissive allowlist that may only shrink) and a
   gated runner for environments without mypy.
@@ -20,6 +26,12 @@ CLI wrappers; ``docs/static-analysis.md`` is the human-facing rule
 catalog and suppression policy.
 """
 
+from repro.analysis.asyncsafe import (
+    AwaitInterleavingRaces,
+    ResourceEscape,
+    WireConformance,
+)
+from repro.analysis.cfg import CFG, CFGEdge, CFGNode, build_cfg, forward_dataflow
 from repro.analysis.engine import (
     Finding,
     LintEngine,
@@ -39,8 +51,16 @@ from repro.analysis.typing_gate import (
 )
 
 __all__ = [
+    "AwaitInterleavingRaces",
+    "CFG",
+    "CFGEdge",
+    "CFGNode",
     "EXIT_UNAVAILABLE",
     "Finding",
+    "ResourceEscape",
+    "WireConformance",
+    "build_cfg",
+    "forward_dataflow",
     "LintEngine",
     "LintError",
     "LintReport",

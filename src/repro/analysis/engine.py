@@ -247,6 +247,51 @@ def parse_suppressions(path: str, source: str, known_rules: Iterable[str]) -> tu
     return suppressions, meta
 
 
+def changed_files(paths: Sequence[str | Path]) -> list[Path]:
+    """``.py`` files under ``paths`` that differ from git HEAD.
+
+    The union of staged, unstaged, and untracked changes — the set a
+    pre-commit hook cares about.  Files deleted from the worktree are
+    skipped.  Raises :class:`LintError` when git is unavailable or the
+    working directory is not inside a repository, so callers fail loud
+    rather than silently linting nothing.
+    """
+    import subprocess
+
+    def git(*argv: str) -> str:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True, check=False
+            )
+        except OSError as exc:
+            raise LintError(f"git unavailable: {exc}") from exc
+        if proc.returncode != 0:
+            raise LintError(
+                f"git {' '.join(argv)} failed: {proc.stderr.strip()}"
+            )
+        return proc.stdout
+
+    toplevel = Path(git("rev-parse", "--show-toplevel").strip())
+    names: set[str] = set()
+    for out in (
+        git("diff", "--name-only", "HEAD"),
+        git("ls-files", "--others", "--exclude-standard"),
+    ):
+        names.update(line.strip() for line in out.splitlines() if line.strip())
+    roots = [Path(p).resolve() for p in paths]
+    selected: list[Path] = []
+    for name in sorted(names):
+        candidate = toplevel / name
+        if candidate.suffix != ".py" or not candidate.is_file():
+            continue
+        resolved = candidate.resolve()
+        if any(
+            resolved == root or root in resolved.parents for root in roots
+        ):
+            selected.append(candidate)
+    return selected
+
+
 class LintEngine:
     """Run a set of rules over files and reconcile suppressions."""
 
@@ -260,6 +305,18 @@ class LintEngine:
     def rule_ids(self) -> list[str]:
         """Ids of the registered rules (stable order)."""
         return [r.id for r in self.rules]
+
+    def known_rule_ids(self) -> set[str]:
+        """Rule ids suppressions may legitimately name.
+
+        The union of this engine's rules and the shipped catalog: a
+        rule-scoped run (``--select``, or a single-rule engine in a
+        test) must not report a valid suppression for an unselected
+        shipped rule as "unknown".
+        """
+        from repro.analysis.rules import default_rules
+
+        return set(self.rule_ids()) | {r.id for r in default_rules()}
 
     # ------------------------------------------------------------------
     def iter_files(self, paths: Sequence[str | Path]) -> Iterator[Path]:
@@ -308,7 +365,7 @@ class LintEngine:
         for rule in self.rules:
             if rule.applies(ctx.modpath):
                 findings.extend(rule.check(ctx))
-        suppressions, meta = parse_suppressions(rel, source, self.rule_ids())
+        suppressions, meta = parse_suppressions(rel, source, self.known_rule_ids())
         return findings, suppressions, meta
 
     def run(self, paths: Sequence[str | Path]) -> LintReport:
@@ -333,8 +390,14 @@ class LintEngine:
                 else:
                     report.findings.append(f)
             # Unused suppressions rot: they claim an invariant is being
-            # waived on a line that no longer violates it.
+            # waived on a line that no longer violates it.  Judged only
+            # when every rule the suppression names actually ran — a
+            # rule-scoped run cannot tell whether an unselected rule
+            # still fires on that line.
+            active = set(self.rule_ids())
             for s in suppressions:
+                if not set(s.rules) <= active:
+                    continue
                 if (s.line, s.rules) not in used:
                     report.findings.append(Finding(
                         META_RULE, s.path, s.line, 0,

@@ -17,10 +17,20 @@ R003 flows stay integral — Theorem 2 (no float literals/coercions
 R004 module encapsulation (no cross-module ``_private`` reach-ins)
 R005 asyncio hygiene in ``service/`` and ``wire/`` (no blocking calls /
      solver loops without a yield point inside ``async def``)
+R006 no shared-state read-modify-write spanning an ``await``
+     (flow-sensitive; see :mod:`repro.analysis.asyncsafe`)
+R007 acquired resources release or hand off custody on every exit,
+     including cancellation edges (see :mod:`repro.analysis.asyncsafe`)
+R008 ``wire/server.py`` conforms to the request→reply state machine
+     declared by ``wire/protocol.py`` (see
+     :mod:`repro.analysis.asyncsafe`)
 ==== =====================================================================
 
-The rule catalog with rationale and examples lives in
-``docs/static-analysis.md``.
+R001–R005 are single-function syntactic visitors defined below;
+R006–R008 are flow-sensitive and live in
+:mod:`repro.analysis.asyncsafe`, built on the CFG/dataflow core in
+:mod:`repro.analysis.cfg`.  The rule catalog with rationale and
+examples lives in ``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
@@ -497,10 +507,21 @@ class AsyncioHygiene(Rule):
 
 def default_rules() -> list[Rule]:
     """The shipped rule set, in id order."""
+    # Imported here, not at module top: asyncsafe builds on the Rule
+    # base class from this module, so a top-level import would cycle.
+    from repro.analysis.asyncsafe import (
+        AwaitInterleavingRaces,
+        ResourceEscape,
+        WireConformance,
+    )
+
     return [
         AssertIsNotValidation(),
         DeterministicScheduling(),
         IntegralFlows(),
         ModuleEncapsulation(),
         AsyncioHygiene(),
+        AwaitInterleavingRaces(),
+        ResourceEscape(),
+        WireConformance(),
     ]

@@ -46,7 +46,11 @@ __all__ = [
 EXIT_UNAVAILABLE = 3
 
 #: Subpackages (relative to ``repro``) checked with :data:`STRICT_FLAGS`.
-STRICT_PACKAGES: tuple[str, ...] = ("flows", "core", "analysis", "wire")
+#: ``service`` and ``faults`` joined when the async-safety analyzer
+#: (R006–R008) made them the most invariant-dense code in the tree.
+STRICT_PACKAGES: tuple[str, ...] = (
+    "flows", "core", "analysis", "wire", "service", "faults",
+)
 
 #: The strict flag set.  A curated subset of ``--strict``: everything
 #: that catches real defects in annotated code, minus the flags that

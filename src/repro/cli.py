@@ -382,10 +382,11 @@ def cmd_tokens(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    """Run the invariant lint (R001–R005) over the given paths."""
+    """Run the invariant lint (R001–R008) over the given paths."""
     from pathlib import Path
 
     from repro.analysis import LintEngine, LintError, default_rules
+    from repro.analysis.engine import changed_files
 
     rules = default_rules()
     if args.select:
@@ -397,7 +398,10 @@ def cmd_lint(args) -> int:
     paths = args.paths or [str(Path(__file__).resolve().parent)]
     engine = LintEngine(rules)
     try:
-        report = engine.run(paths)
+        targets: list = list(paths)
+        if args.changed:
+            targets = list(changed_files(paths))
+        report = engine.run(targets)
     except LintError as exc:
         raise SystemExit(f"error: {exc}") from exc
     if args.format == "json":
@@ -613,7 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true", help="print every token move")
     p.set_defaults(func=cmd_tokens)
 
-    p = sub.add_parser("lint", help="invariant lint: R001-R005 over src")
+    p = sub.add_parser("lint", help="invariant lint: R001-R008 over src")
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: the repro package)")
     p.add_argument("--format", choices=["text", "json"], default="text")
@@ -621,6 +625,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-rule hit and suppression counts")
     p.add_argument("--select", action="append", default=[],
                    help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--changed", action="store_true",
+                   help="lint only files under the given paths that differ "
+                        "from git HEAD (staged, unstaged, or untracked) — "
+                        "the pre-commit fast path")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("typecheck",

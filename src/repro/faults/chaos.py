@@ -135,8 +135,18 @@ def run_chaos(
     )
 
 
-async def _churn(*, topology, ports, ticks, seed, rate, fault_rate,
-                 transient_fraction, mean_repair, check_every) -> ChaosReport:
+async def _churn(
+    *,
+    topology: str,
+    ports: int,
+    ticks: int,
+    seed: int,
+    rate: float,
+    fault_rate: float,
+    transient_fraction: float,
+    mean_repair: float,
+    check_every: int,
+) -> ChaosReport:
     clock = VirtualClock()
     arrival_rng, fault_rng, hold_rng = spawn_rngs(seed, 3)
     mrsin = MRSIN(BUILDERS[topology](ports))

@@ -20,11 +20,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.model import MRSIN
 from repro.util.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.server import AllocationService
 
 __all__ = ["FaultEvent", "FaultInjector", "apply_event"]
 
@@ -163,7 +167,7 @@ class FaultInjector:
             due.append(heapq.heappop(self._pending)[2])
         return due
 
-    def inject(self, service, now: float) -> list[FaultEvent]:
+    def inject(self, service: AllocationService, now: float) -> list[FaultEvent]:
         """Apply every due event through ``service`` (counting metrics).
 
         Convenience for driving a live

@@ -238,9 +238,21 @@ def _build_mrsin(spec: WorkloadSpec, rng: np.random.Generator) -> MRSIN:
     return mrsin
 
 
-async def _run(spec: WorkloadSpec, *, rate, horizon, seed, tick_interval, max_batch,
-               queue_limit, degrade_watermark, request_timeout, transmission_time,
-               mean_service, warm_start=True) -> ServiceRunResult:
+async def _run(
+    spec: WorkloadSpec,
+    *,
+    rate: float,
+    horizon: float,
+    seed: int,
+    tick_interval: float,
+    max_batch: int | None,
+    queue_limit: int,
+    degrade_watermark: int | None,
+    request_timeout: float | None,
+    transmission_time: float,
+    mean_service: float,
+    warm_start: bool = True,
+) -> ServiceRunResult:
     clock = VirtualClock()
     setup_rng, *client_rngs = spawn_rngs(seed, 1 + spec.builder(spec.n_ports).n_processors)
     mrsin = _build_mrsin(spec, setup_rng)
@@ -342,12 +354,27 @@ async def _handle_request(
         lease = await service.acquire(request)
     except AllocationError:
         return  # dropped; the metrics block has already counted it
-    await clock.sleep(transmission_time)
     try:
+        await clock.sleep(transmission_time)
         if lease.active:
             service.end_transmission(lease)
         await clock.sleep(hold)
-        if lease.active:
-            service.release(lease)
     except (LeaseRevoked, ServiceClosed):
         return  # revoked by a fault, or torn down at shutdown
+    finally:
+        _release_quietly(service, lease)
+
+
+def _release_quietly(service: AllocationService, lease: Lease) -> None:
+    """Free the lease if custody is still ours; swallow teardown races.
+
+    Runs in the ``finally`` of every request lifecycle so cancellation
+    (driver teardown mid-sleep) cannot strand a granted lease — the
+    escape R007 guards against.
+    """
+    if not lease.active:
+        return  # released, revoked, or reclaimed — custody is gone
+    try:
+        service.release(lease)
+    except (LeaseRevoked, ServiceClosed):
+        pass  # a fault or shutdown beat us to it

@@ -56,6 +56,10 @@ import asyncio
 import itertools
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultEvent
 
 from repro.core.heuristic import greedy_schedule
 from repro.core.incremental import IncrementalFlowEngine, KernelFlowEngine
@@ -327,7 +331,7 @@ class AllocationService:
         await self.start()
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
     async def _tick_loop(self) -> None:
@@ -481,7 +485,7 @@ class AllocationService:
     # ------------------------------------------------------------------
     # Faults
     # ------------------------------------------------------------------
-    def apply_fault_event(self, event) -> bool:
+    def apply_fault_event(self, event: FaultEvent) -> bool:
         """Apply one :class:`~repro.faults.injector.FaultEvent` to the MRSIN.
 
         Returns whether the event changed anything (repairing a healthy

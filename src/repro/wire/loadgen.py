@@ -30,6 +30,7 @@ from repro.util.histogram import LatencyHistogram
 from repro.util.rng import make_rng
 from repro.util.tables import Table
 from repro.wire.client import (
+    RemoteLease,
     WireClient,
     WireError,
     WireLeaseRevoked,
@@ -369,3 +370,22 @@ async def _one_request(
         report.revoked += 1
     except WireError:
         report.errors += 1
+    finally:
+        await _abandon(client, lease)
+
+
+async def _abandon(client: WireClient, lease: RemoteLease) -> None:
+    """Best-effort release for lifecycles unwound early.
+
+    Runs in the ``finally`` of every request lifecycle: if the load
+    generator is cancelled (deadline or shutdown) while the lease is
+    still held, give it back instead of stranding server-side custody
+    — the escape R007 guards against.  A lease already released or
+    revoked is left alone.
+    """
+    if not lease.active:
+        return
+    try:
+        await client.release(lease)
+    except WireError:
+        pass  # connection already gone; the server reclaims on close

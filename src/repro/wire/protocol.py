@@ -31,7 +31,9 @@ __all__ = [
     "Frame",
     "ProtocolError",
     "PUSH_ID",
+    "PUSH_KINDS",
     "REPLY_KINDS",
+    "REPLY_SCHEMA",
     "REQUEST_KINDS",
     "WIRE_VERSION",
     "decode",
@@ -62,6 +64,28 @@ REPLY_KINDS: tuple[str, ...] = (
     "LEASE", "REJECTED", "TIMEOUT", "REVOKED", "ERROR", "OK", "PONG",
 )
 KINDS: frozenset[str] = frozenset(REQUEST_KINDS) | frozenset(REPLY_KINDS)
+
+#: The request→reply state machine: which correlated reply kinds each
+#: request kind admits.  ``wire/server.py`` is checked against this
+#: table by lint rule R008; keep it a literal so the rule can read it
+#: from the AST without importing the module.
+REPLY_SCHEMA: Mapping[str, tuple[str, ...]] = {
+    "ACQUIRE": ("LEASE", "REJECTED", "TIMEOUT", "ERROR"),
+    "RELEASE": ("OK", "REVOKED", "ERROR"),
+    "END_TX": ("OK", "REVOKED", "ERROR"),
+    "PING": ("PONG",),
+    "STATS": ("OK", "ERROR"),
+}
+
+#: Kinds the server may send unprompted under ``PUSH_ID``: lease
+#: revocations, and transport-level errors for undecodable frames
+#: that carry no usable request id.
+PUSH_KINDS: tuple[str, ...] = ("REVOKED", "ERROR")
+
+for _kind, _replies in REPLY_SCHEMA.items():
+    if _kind not in REQUEST_KINDS or not set(_replies) <= set(REPLY_KINDS):
+        raise RuntimeError(f"REPLY_SCHEMA inconsistent for {_kind!r}")
+del _kind, _replies
 
 #: Keys owned by the envelope; payloads may not shadow them.
 _RESERVED_KEYS = frozenset({"v", "kind", "id"})

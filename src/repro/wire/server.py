@@ -320,10 +320,13 @@ class WireServer:
         else:
             if conn.closed:
                 # The client vanished while queued; the lease has no
-                # owner, so give it straight back.
+                # owner, so give it straight back.  No reply is owed:
+                # the transport is gone, so there is no one to
+                # correlate a frame to (regression-tested by
+                # test_grant_after_disconnect_is_auto_released).
                 self._release_quietly(lease)
                 self.leases_auto_released += 1
-                return
+                return  # repro: noqa R008 -- connection closed: nobody left to reply to; the lease is auto-released instead
             conn.leases[lease.lease_id] = lease
             self.leases_granted += 1
             watcher = asyncio.get_running_loop().create_task(

@@ -1,0 +1,117 @@
+"""Tests for the git-scoped ``repro lint --changed`` fast path.
+
+Each test builds a throwaway git repository containing a synthetic
+``repro`` package, commits a clean seed, then dirties part of it: the
+changed-file discovery must return exactly the touched files (staged,
+unstaged, or untracked), and linting just those files must agree with
+a full-tree run restricted to them.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintEngine, LintError
+from repro.analysis.engine import changed_files
+from repro.cli import main
+
+CLEAN = "LIMIT = 4\n"
+
+DIRTY = (
+    "def check(value):\n"
+    "    assert value, 'bad input'\n"
+    "    return value\n"
+)
+
+
+def _git(root: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.com", "-c", "user.name=t", *argv],
+        cwd=root,
+        check=True,
+        capture_output=True,
+    )
+
+
+@pytest.fixture
+def seeded_repo(tmp_path, monkeypatch):
+    root = tmp_path / "proj"
+    pkg = root / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "untouched.py").write_text(CLEAN, encoding="utf-8")
+    (pkg / "edited.py").write_text(CLEAN, encoding="utf-8")
+    _git(root, "init", "-q")
+    _git(root, "add", "-A")
+    _git(root, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(root)
+    return root
+
+
+class TestChangedFiles:
+    def test_clean_tree_has_no_changed_files(self, seeded_repo):
+        assert changed_files([seeded_repo / "repro"]) == []
+
+    def test_edited_and_untracked_files_are_found(self, seeded_repo):
+        pkg = seeded_repo / "repro" / "core"
+        (pkg / "edited.py").write_text(DIRTY, encoding="utf-8")
+        (pkg / "brand_new.py").write_text(DIRTY, encoding="utf-8")
+        found = changed_files([seeded_repo / "repro"])
+        assert [p.name for p in found] == ["brand_new.py", "edited.py"]
+
+    def test_staged_edits_are_found(self, seeded_repo):
+        pkg = seeded_repo / "repro" / "core"
+        (pkg / "edited.py").write_text(DIRTY, encoding="utf-8")
+        _git(seeded_repo, "add", "-A")
+        found = changed_files([seeded_repo / "repro"])
+        assert [p.name for p in found] == ["edited.py"]
+
+    def test_paths_outside_the_roots_are_excluded(self, seeded_repo):
+        pkg = seeded_repo / "repro" / "core"
+        (pkg / "edited.py").write_text(DIRTY, encoding="utf-8")
+        elsewhere = seeded_repo / "scripts"
+        elsewhere.mkdir()
+        (elsewhere / "tool.py").write_text(DIRTY, encoding="utf-8")
+        found = changed_files([seeded_repo / "repro"])
+        assert [p.name for p in found] == ["edited.py"]
+
+    def test_git_failure_raises_lint_error(self, seeded_repo, monkeypatch):
+        monkeypatch.setenv("GIT_DIR", str(seeded_repo / "no-such-dir"))
+        with pytest.raises(LintError):
+            changed_files([seeded_repo / "repro"])
+
+
+class TestChangedScopeMatchesFullRun:
+    def test_scoped_findings_equal_full_findings_on_touched_files(
+        self, seeded_repo
+    ):
+        pkg = seeded_repo / "repro" / "core"
+        (pkg / "edited.py").write_text(DIRTY, encoding="utf-8")
+        (pkg / "brand_new.py").write_text(DIRTY, encoding="utf-8")
+
+        touched = changed_files([seeded_repo / "repro"])
+        scoped = LintEngine().run(touched)
+        full = LintEngine().run([seeded_repo / "repro"])
+
+        touched_paths = {str(p) for p in touched}
+        expected = [f for f in full.findings if f.path in touched_paths]
+        assert [
+            (f.rule, f.path, f.line) for f in scoped.findings
+        ] == [(f.rule, f.path, f.line) for f in expected]
+        assert scoped.findings, "fixture should produce at least one finding"
+
+    def test_cli_changed_flag(self, seeded_repo, capsys):
+        pkg = seeded_repo / "repro" / "core"
+        (pkg / "edited.py").write_text(DIRTY, encoding="utf-8")
+        code = main(["lint", "--changed", str(seeded_repo / "repro")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "edited.py" in out
+        assert "untouched.py" not in out
+
+    def test_cli_changed_flag_clean_tree(self, seeded_repo, capsys):
+        code = main(["lint", "--changed", str(seeded_repo / "repro")])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out

@@ -143,6 +143,30 @@ class TestDisconnectCustody:
 
         run(scenario())
 
+    def test_grant_after_disconnect_is_auto_released(self):
+        """The no-reply path in ``_handle_acquire`` (R008-suppressed):
+        when the transport dies while an ACQUIRE is queued — ``_send``
+        flips ``conn.closed`` on a write failure before teardown has
+        collected the task — the grant has no owner and no
+        destination, so it is given straight back instead of being
+        stranded, and no reply frame is owed."""
+
+        async def scenario():
+            async with stack() as (service, server):
+                host, port = server.address
+                async with WireClient(host, port, request_timeout=2.0) as client:
+                    await client.ping()  # connection is registered
+                    (conn,) = server._connections.values()
+                    conn.closed = True  # transport died mid-queue
+                    await server._handle_acquire(
+                        conn, protocol.make_acquire(99, 1)
+                    )
+                    assert server.leases_auto_released == 1
+                    assert server.leases_granted == 0
+                    assert service.active_leases == 0
+
+        run(scenario())
+
     def test_lost_connection_marks_client_leases_revoked(self):
         async def scenario():
             async with stack() as (service, server):
