@@ -57,7 +57,7 @@ __all__ = [
 ]
 
 #: Modules whose coroutines mutate shared service state.
-ASYNC_SCOPE = ("service/", "wire/", "faults/")
+ASYNC_SCOPE = ("service/", "wire/", "faults/", "fabric/")
 
 
 def _module_globals(tree: ast.AST) -> frozenset[str]:

@@ -426,8 +426,9 @@ class AsyncioHygiene(Rule):
     """R005 — the service event loop must never be silently starved.
 
     One blocked coroutine stalls *every* lease in flight.  Inside
-    ``async def`` in ``service/`` or ``wire/`` (the TCP front-end runs
-    on the same loop as the tick loop) this rule flags:
+    ``async def`` in ``service/``, ``wire/``, or ``fabric/`` (the TCP
+    front-end runs on the same loop as the tick loop, and each fabric
+    cell's loop carries every acquire in that cell) this rule flags:
 
     - known blocking calls (``time.sleep``, ``os.system``,
       ``subprocess.*``, ``socket.*``, ``urllib.request.*``);
@@ -439,7 +440,7 @@ class AsyncioHygiene(Rule):
     """
 
     id = "R005"
-    title = "asyncio hygiene in service/ and wire/"
+    title = "asyncio hygiene in service/, wire/, and fabric/"
 
     BLOCKING = {
         "time.sleep", "os.system", "os.wait", "input",
@@ -454,7 +455,7 @@ class AsyncioHygiene(Rule):
     }
 
     def applies(self, modpath: str) -> bool:
-        return modpath.startswith(("service/", "wire/"))
+        return modpath.startswith(("service/", "wire/", "fabric/"))
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

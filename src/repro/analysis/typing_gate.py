@@ -49,7 +49,7 @@ EXIT_UNAVAILABLE = 3
 #: ``service`` and ``faults`` joined when the async-safety analyzer
 #: (R006–R008) made them the most invariant-dense code in the tree.
 STRICT_PACKAGES: tuple[str, ...] = (
-    "flows", "core", "analysis", "wire", "service", "faults",
+    "flows", "core", "analysis", "wire", "service", "faults", "fabric",
 )
 
 #: The strict flag set.  A curated subset of ``--strict``: everything

@@ -12,6 +12,9 @@ Examples
     python -m repro chaos --network omega --ports 32 --ticks 2000 --seed 7
     python -m repro wire-serve --network omega --ports 16 --port 7586
     python -m repro loadgen --port 7586 --rate 300 --duration 5 --seed 7
+    python -m repro fabric-serve --cells 4 --ports 32 --rounds 40 --seed 7
+    python -m repro fabric-bench --cells 1 2 4 8 --ports 32 --json
+    python -m repro fabric-chaos --cells 4 --kill-cell 1 --kill-round 10
     python -m repro tokens --seed 31
     python -m repro lint --stats
     python -m repro typecheck
@@ -367,6 +370,125 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def _fabric_config(args) -> "object":
+    from repro.fabric.driver import FabricConfig
+
+    try:
+        return FabricConfig(
+            topology=args.network,
+            ports=args.ports,
+            cells=args.cells,
+            seed=args.seed,
+            rounds=args.rounds,
+            ticks_per_round=args.ticks_per_round,
+            rate=args.rate,
+            spill_after=args.spill_after,
+            max_hold=args.max_hold,
+            queue_limit=args.queue_limit,
+            group_size=args.group_size,
+            uplink=args.uplink,
+            trunk=args.trunk,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def cmd_fabric_serve(args) -> int:
+    """Run one sharded fabric workload (multi-process cells + broker)."""
+    from repro.fabric.broker import FabricError
+    from repro.fabric.driver import FabricConfig, run_fabric
+
+    config = _fabric_config(args)
+    if not isinstance(config, FabricConfig):  # pragma: no cover - narrowing
+        raise SystemExit("error: bad fabric config")
+    try:
+        result = run_fabric(config)
+    except FabricError as exc:
+        raise SystemExit(f"error: fabric failed: {exc}") from exc
+    if args.json:
+        import json
+
+        payload = {
+            "totals": result.totals,
+            "rounds_run": result.rounds_run,
+            "drain_rounds": result.drain_rounds,
+            "wall_s": result.wall_s,
+            "critical_path_s": result.critical_path_s,
+            "wall_allocs_per_sec": result.wall_allocs_per_sec,
+            "aggregate_allocs_per_sec": result.aggregate_allocs_per_sec,
+            "host_cpus": result.host_cpus,
+            "snapshot": result.snapshot,
+        }
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(result.render())
+    return 0
+
+
+def cmd_fabric_bench(args) -> int:
+    """Scaling sweep: the same per-cell load at increasing cell counts."""
+    from repro.fabric.broker import FabricError
+    from repro.fabric.driver import FabricConfig, sweep_cells
+
+    config = _fabric_config(args)
+    if not isinstance(config, FabricConfig):  # pragma: no cover - narrowing
+        raise SystemExit("error: bad fabric config")
+    try:
+        sweep_result = sweep_cells(config, tuple(args.cell_counts))
+    except FabricError as exc:
+        raise SystemExit(f"error: fabric failed: {exc}") from exc
+    if args.json:
+        import json
+
+        print(json.dumps(sweep_result, sort_keys=True))
+    else:
+        table = Table(
+            ["cells", "offered", "allocated", "spilled", "agg allocs/s",
+             "speedup", "wait p99"],
+            title=f"fabric scaling: {args.network}-{args.ports} per cell",
+        )
+        for row in sweep_result["rows"]:
+            table.add_row(
+                row["cells"], row["offered"], row["allocated"],
+                row["spill_allocated"],
+                f"{row['aggregate_allocs_per_sec']:.0f}",
+                f"{row['speedup_vs_1']:.2f}x",
+                f"{row['wait_p99_ticks']:.2f}",
+            )
+        print(table.render())
+        print("\naggregate = allocations / critical-path CPU seconds "
+              "(one core per cell); wall-clock figures are in --json output")
+    return 0
+
+
+def cmd_fabric_chaos(args) -> int:
+    """Whole-cell kill/rejoin chaos against a live fabric."""
+    from repro.fabric.broker import FabricError, FabricInvariantError
+    from repro.fabric.chaos import run_fabric_chaos
+    from repro.fabric.driver import ChaosSchedule, FabricConfig
+
+    config = _fabric_config(args)
+    if not isinstance(config, FabricConfig):  # pragma: no cover - narrowing
+        raise SystemExit("error: bad fabric config")
+    try:
+        schedule = ChaosSchedule(
+            cell=args.kill_cell,
+            kill_round=args.kill_round,
+            rejoin_round=args.rejoin_round or None,
+        )
+        report = run_fabric_chaos(
+            config, schedule, verify_determinism=args.verify_determinism
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    except FabricInvariantError as exc:
+        raise SystemExit(f"error: fabric invariant violated: {exc}") from exc
+    except FabricError as exc:
+        raise SystemExit(f"error: fabric failed: {exc}") from exc
+    print(report.render())
+    return 0
+
+
 def cmd_tokens(args) -> int:
     """Trace one distributed (token-propagation) scheduling cycle."""
     m = sample_instance(_spec(args), args.seed)
@@ -611,6 +733,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-every", type=int, default=1,
                    help="cold-vs-warm differential every K ticks")
     p.set_defaults(func=cmd_chaos)
+
+    def _add_fabric_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--network", choices=["omega", "benes", "clos"],
+                       default="omega", help="intra-cell topology")
+        p.add_argument("--ports", type=int, default=32, help="ports per cell")
+        p.add_argument("--cells", type=int, default=4, help="number of cells")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--rounds", type=int, default=40,
+                       help="bulk-synchronous rounds of load")
+        p.add_argument("--ticks-per-round", type=int, default=8)
+        p.add_argument("--rate", type=float, default=0.18,
+                       help="arrivals per port per tick (per cell)")
+        p.add_argument("--spill-after", type=int, default=4,
+                       help="home-queue ticks before a request escalates")
+        p.add_argument("--max-hold", type=int, default=6,
+                       help="lease hold times drawn from 1..K ticks")
+        p.add_argument("--queue-limit", type=int, default=0,
+                       help="per-cell admission queue (0 = 4*ports)")
+        p.add_argument("--group-size", type=int, default=4,
+                       help="cells per spill-network aggregation pod")
+        p.add_argument("--uplink", type=int, default=8,
+                       help="per-cell spill uplink, requests/round")
+        p.add_argument("--trunk", type=int, default=32,
+                       help="spill core trunk, requests/round")
+
+    p = sub.add_parser("fabric-serve",
+                       help="run a sharded multi-process allocation fabric")
+    _add_fabric_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit totals + merged snapshot as one JSON object")
+    p.set_defaults(func=cmd_fabric_serve)
+
+    p = sub.add_parser("fabric-bench",
+                       help="fabric scaling sweep over cell counts")
+    _add_fabric_args(p)
+    p.add_argument("--cell-counts", nargs="+", type=int, default=[1, 2, 4, 8],
+                   help="fabric widths to sweep")
+    p.add_argument("--json", action="store_true",
+                   help="emit the sweep as one JSON object")
+    p.set_defaults(func=cmd_fabric_bench)
+
+    p = sub.add_parser("fabric-chaos",
+                       help="whole-cell kill/rejoin chaos with invariants")
+    _add_fabric_args(p)
+    p.add_argument("--kill-cell", type=int, default=1,
+                   help="cell index to SIGKILL")
+    p.add_argument("--kill-round", type=int, default=10)
+    p.add_argument("--rejoin-round", type=int, default=20,
+                   help="round the killed cell rejoins (0 = never)")
+    p.add_argument("--verify-determinism", action="store_true",
+                   help="run the schedule twice and compare settlements")
+    p.set_defaults(func=cmd_fabric_chaos)
 
     p = sub.add_parser("tokens", help="trace the distributed token architecture")
     _add_workload_args(p)

@@ -1,0 +1,155 @@
+"""Whole-cell chaos: kill a live cell mid-run, watch the fabric heal.
+
+The faults layer (:mod:`repro.faults`) breaks links, switchboxes, and
+resources *inside* one service.  The fabric's failure unit is coarser:
+an entire cell process dies (SIGKILL — no goodbye, no flush).  This
+harness runs a seeded workload with one scheduled whole-cell kill and
+optional rejoin, then enforces the fabric's hard invariants with real
+exceptions (``-O`` safe):
+
+1. **Custody revocation** — every lease the dead cell was serving is
+   revoked, all revoked ids carry the dead cell's prefix, and no other
+   cell's lease is touched;
+2. **Continued service** — the surviving cells keep granting during
+   the outage window (the fabric degrades, it does not stop);
+3. **Respill** — work stranded by the death re-enters the spill tier
+   (escalations strictly exceed a no-chaos run of the same seed when
+   the dead cell had traffic);
+4. **Clean rejoin** — a rejoined cell serves again under a fresh lease
+   epoch, and the run still drains to zero leases and exact request
+   conservation (enforced inside :func:`~repro.fabric.driver.run_fabric`);
+5. **Determinism** — with ``verify_determinism``, a second run of the
+   same seed settles every request identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.broker import FabricInvariantError
+from repro.fabric.driver import ChaosSchedule, FabricConfig, FabricRunResult, run_fabric
+from repro.util.tables import Table
+
+__all__ = ["FabricChaosReport", "run_fabric_chaos"]
+
+
+@dataclass
+class FabricChaosReport:
+    """Outcome of one clean fabric-chaos run (invariants all held)."""
+
+    result: FabricRunResult
+    schedule: ChaosSchedule
+    revoked: int
+    granted_during_outage: int
+    deterministic: bool | None
+
+    def render(self) -> str:
+        """ASCII summary of the chaos run."""
+        cfg = self.result.config
+        table = Table(
+            ["metric", "value"],
+            title=(
+                f"fabric chaos {cfg.topology}-{cfg.ports} x {cfg.cells}, "
+                f"kill cell {self.schedule.cell} @ round {self.schedule.kill_round}"
+            ),
+        )
+        table.add_row("rejoin round", self.schedule.rejoin_round or "never")
+        table.add_row("leases revoked at kill", self.revoked)
+        table.add_row("grants during outage", self.granted_during_outage)
+        for key in (
+            "offered", "allocated", "spill_allocated", "spill_failed",
+            "escalated", "revoked_on_death",
+        ):
+            table.add_row(key, self.result.totals[key])
+        if self.deterministic is not None:
+            table.add_row("deterministic rerun", self.deterministic)
+        return table.render()
+
+
+def _outage_grants(result: FabricRunResult, schedule: ChaosSchedule) -> int:
+    """Grants landed while the killed cell was down."""
+    end = schedule.rejoin_round or len(result.per_round_granted)
+    # per_round_granted is 0-indexed by round; rounds are 1-based.
+    window = result.per_round_granted[schedule.kill_round - 1 : end]
+    return sum(window)
+
+
+def run_fabric_chaos(
+    config: FabricConfig,
+    schedule: ChaosSchedule | None = None,
+    *,
+    verify_determinism: bool = False,
+) -> FabricChaosReport:
+    """Run the kill/rejoin scenario and enforce the chaos invariants."""
+    schedule = schedule or ChaosSchedule()
+    if config.cells < 2:
+        raise ValueError("fabric chaos needs at least 2 cells")
+    if schedule.kill_round > config.rounds:
+        raise ValueError(
+            f"kill_round {schedule.kill_round} beyond {config.rounds} rounds"
+        )
+    result = run_fabric(config, chaos=schedule)
+
+    deaths = [e for e in result.events if e["event"] == "cell-death"]
+    kills = [e for e in deaths if e["reason"] == "killed"]
+    if len(kills) != 1:
+        raise FabricInvariantError(
+            f"expected exactly one scheduled kill, saw {len(kills)}"
+        )
+    kill = kills[0]
+    prefix = f"{kill['cell_id']}:"
+    for lease_id in kill["revoked"]:
+        if not lease_id.startswith(prefix):
+            raise FabricInvariantError(
+                f"revoked {lease_id!r} does not belong to killed cell "
+                f"{kill['cell_id']}"
+            )
+    foreign = [
+        lease_id
+        for lease_id in result.revoked_lease_ids
+        if not lease_id.startswith(prefix)
+    ]
+    if foreign:
+        raise FabricInvariantError(
+            f"revocation bled outside the killed cell: {foreign[:3]!r}"
+        )
+    if result.totals["revoked_on_death"] != len(kill["revoked"]):
+        raise FabricInvariantError(
+            "revocation accounting mismatch: "
+            f"{result.totals['revoked_on_death']} != {len(kill['revoked'])}"
+        )
+
+    outage = _outage_grants(result, schedule)
+    if outage == 0:
+        raise FabricInvariantError(
+            "fabric stopped granting during the outage window"
+        )
+    if result.totals["escalated"] == 0:
+        raise FabricInvariantError(
+            "death stranded no work and home cells never spilled — "
+            "the scenario exercised nothing (raise the load)"
+        )
+    if schedule.rejoin_round is not None and result.totals["cells_rejoined"] != 1:
+        raise FabricInvariantError("scheduled rejoin did not happen")
+
+    deterministic: bool | None = None
+    if verify_determinism:
+        rerun = run_fabric(config, chaos=schedule)
+        deterministic = (
+            rerun.totals == result.totals
+            and rerun.revoked_lease_ids == result.revoked_lease_ids
+            and rerun.per_round_granted == result.per_round_granted
+        )
+        if not deterministic:
+            raise FabricInvariantError(
+                "chaos run is not deterministic: "
+                f"{result.totals} != {rerun.totals}"
+            )
+
+    return FabricChaosReport(
+        result=result,
+        schedule=schedule,
+        revoked=len(kill["revoked"]),
+        granted_during_outage=outage,
+        deterministic=deterministic,
+    )

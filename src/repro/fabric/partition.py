@@ -1,0 +1,136 @@
+"""Deterministic cell placement and the fabric-wide name space.
+
+A fabric partitions ``cells * ports`` processors (and as many
+resources) into ``cells`` equal shards.  Each shard gets a stable
+**cell id** derived from its label with
+:func:`repro.util.labels.label_tag` — a SHA-256 tag, *never* builtin
+``hash``, which is salted per process and would give every cell
+process a different idea of the namespace.  Fabric-wide lease names
+are ``"{cell_id}:{local_id}"``; spilled requests enter their host cell
+on a **gateway port** chosen by the same stable hash so routing is
+reproducible across runs and across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.networks import benes, clos, omega
+from repro.networks.topology import MultistageNetwork
+from repro.util.labels import label_hash, label_tag
+
+__all__ = ["CELL_BUILDERS", "CellPlacement", "FabricPartition", "gateway_port"]
+
+#: Topologies a cell's intra-shard MRSIN may use.  Mirrors the chaos
+#: registry (kept local so ``repro.fabric`` never imports the CLI).
+CELL_BUILDERS: dict[str, Callable[[int], MultistageNetwork]] = {
+    "omega": omega,
+    "benes": benes,
+    "clos": lambda n: clos(max(n // 2, 1), 2, max(n // 2, 1)),
+}
+
+
+def gateway_port(req_id: int, ports: int) -> int:
+    """The local input port a spilled request enters its host cell on.
+
+    Derived from the fabric-wide request id with a stable hash, so the
+    broker (which picks the port) and any replay of the run agree.
+    """
+    if ports < 1:
+        raise ValueError(f"ports must be >= 1, got {ports}")
+    return label_hash(f"spill:{req_id}", bits=32) % ports
+
+
+@dataclass(frozen=True)
+class CellPlacement:
+    """One cell's place in the fabric.
+
+    Attributes
+    ----------
+    index:
+        Dense cell index ``0..n_cells-1`` (wire-protocol addressing).
+    label:
+        Human-readable label, e.g. ``"omega-32#3"``.
+    cell_id:
+        Stable hex tag of the label — the lease-namespace prefix.
+    """
+
+    index: int
+    label: str
+    cell_id: str
+
+
+class FabricPartition:
+    """An equal split of a large installation into identical cells.
+
+    Processor ``p`` (fabric-wide, ``0 <= p < cells * ports``) lives in
+    cell ``p // ports`` at local port ``p % ports``.  Every cell runs
+    the same topology at the same radix, so the spill tier may treat
+    spare capacity as fungible across cells.
+    """
+
+    def __init__(self, topology: str, ports: int, n_cells: int) -> None:
+        if topology not in CELL_BUILDERS:
+            raise ValueError(
+                f"unknown topology {topology!r}; "
+                f"choose from {sorted(CELL_BUILDERS)}"
+            )
+        if ports < 2:
+            raise ValueError(f"ports must be >= 2, got {ports}")
+        if n_cells < 1:
+            raise ValueError(f"n_cells must be >= 1, got {n_cells}")
+        self.topology = topology
+        self.ports = ports
+        self.n_cells = n_cells
+        self.cells: tuple[CellPlacement, ...] = tuple(
+            CellPlacement(
+                index=i,
+                label=f"{topology}-{ports}#{i}",
+                cell_id=label_tag(f"{topology}-{ports}#{i}"),
+            )
+            for i in range(n_cells)
+        )
+        ids = {placement.cell_id for placement in self.cells}
+        if len(ids) != n_cells:  # 8-hex-char tag collision: astronomically rare
+            raise ValueError(
+                f"cell_id collision across {n_cells} cells of {topology}-{ports}"
+            )
+
+    @property
+    def n_processors(self) -> int:
+        """Fabric-wide processor count."""
+        return self.n_cells * self.ports
+
+    def home_cell(self, processor: int) -> int:
+        """The cell index owning fabric-wide ``processor``."""
+        if not 0 <= processor < self.n_processors:
+            raise ValueError(
+                f"processor {processor} outside fabric of {self.n_processors}"
+            )
+        return processor // self.ports
+
+    def local_port(self, processor: int) -> int:
+        """``processor``'s input port within its home cell."""
+        if not 0 <= processor < self.n_processors:
+            raise ValueError(
+                f"processor {processor} outside fabric of {self.n_processors}"
+            )
+        return processor % self.ports
+
+    def global_processor(self, cell: int, local_port: int) -> int:
+        """The fabric-wide index of ``local_port`` in ``cell``."""
+        if not 0 <= cell < self.n_cells:
+            raise ValueError(f"cell {cell} outside fabric of {self.n_cells}")
+        if not 0 <= local_port < self.ports:
+            raise ValueError(f"local port {local_port} outside cell of {self.ports}")
+        return cell * self.ports + local_port
+
+    def build_network(self) -> MultistageNetwork:
+        """A fresh intra-cell network instance (one per cell process)."""
+        return CELL_BUILDERS[self.topology](self.ports)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FabricPartition({self.topology}-{self.ports} x {self.n_cells})"
+        )

@@ -1,0 +1,125 @@
+"""The spill tier: inter-cell routing over a reduced flow network.
+
+When a home cell cannot place a request (admission-queue overflow or a
+queue wait past ``spill_after`` ticks), the broker escalates it to the
+spill tier.  Spill routing is itself an instance of the paper's
+resource-sharing problem **one level up**: the "processors" are cells
+with unplaced demand, the "resources" are cells exporting spare
+capacity, and the interconnect is a small Clos/fat-tree whose leaves
+are cells, grouped under aggregation pods with bounded uplinks and a
+bounded core trunk.  A max-flow solve over that reduced network (a few
+dozen nodes, regardless of how many thousand ports the cells contain)
+decides how many requests each origin may ship to each destination —
+capacity limits on pods and trunk fall out of the flow constraints
+rather than ad-hoc rate limiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.flows.dinic import dinic
+from repro.flows.graph import FlowNetwork, Node
+from repro.util.counters import OpCounter
+
+__all__ = ["SpillTopology", "build_spill_network", "solve_spill"]
+
+
+@dataclass(frozen=True)
+class SpillTopology:
+    """Shape of the reduced inter-cell network.
+
+    Attributes
+    ----------
+    group_size:
+        Cells per aggregation pod (fat-tree leaves per edge switch).
+    uplink:
+        Per-cell link capacity to its pod, in requests per round —
+        both directions (out of an origin, into a destination).
+    trunk:
+        Core capacity between any pod pair, in requests per round.
+    """
+
+    group_size: int = 4
+    uplink: int = 8
+    trunk: int = 32
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {self.group_size}")
+        if self.uplink < 1:
+            raise ValueError(f"uplink must be >= 1, got {self.uplink}")
+        if self.trunk < 1:
+            raise ValueError(f"trunk must be >= 1, got {self.trunk}")
+
+
+def build_spill_network(
+    demands: Mapping[int, int],
+    spares: Mapping[int, int],
+    topology: SpillTopology,
+    n_cells: int,
+) -> tuple[FlowNetwork, Node, Node]:
+    """The reduced Clos: source -> origins -> pods -> core -> pods -> hosts -> sink.
+
+    Nodes are tuples: ``("out", c)`` is cell ``c`` as an origin,
+    ``("in", c)`` as a destination, ``("up", g)``/``("down", g)`` the
+    ascending/descending side of pod ``g``, and ``"core"`` the trunk.
+    Same-pod spills bypass the core over an intra-pod arc, exactly as
+    a fat-tree keeps pod-local traffic off the spine.
+    """
+    net = FlowNetwork()
+    source: Node = "source"
+    sink: Node = "sink"
+    n_groups = (n_cells + topology.group_size - 1) // topology.group_size
+    for cell in range(n_cells):
+        group = cell // topology.group_size
+        demand = demands.get(cell, 0)
+        if demand > 0:
+            net.add_arc(source, ("out", cell), demand)
+            net.add_arc(("out", cell), ("up", group), topology.uplink)
+        spare = spares.get(cell, 0)
+        if spare > 0:
+            net.add_arc(("down", group), ("in", cell), topology.uplink)
+            net.add_arc(("in", cell), sink, spare)
+    pod_capacity = topology.uplink * topology.group_size
+    for group in range(n_groups):
+        net.add_arc(("up", group), ("down", group), pod_capacity)
+        if n_groups > 1:
+            net.add_arc(("up", group), "core", topology.trunk)
+            net.add_arc("core", ("down", group), topology.trunk)
+    return net, source, sink
+
+
+def solve_spill(
+    demands: Mapping[int, int],
+    spares: Mapping[int, int],
+    *,
+    topology: SpillTopology,
+    n_cells: int,
+    counter: OpCounter | None = None,
+) -> dict[tuple[int, int], int]:
+    """Max-flow spill routing: how many requests go origin -> host.
+
+    Returns ``{(origin_cell, host_cell): count}`` covering the largest
+    demand volume the reduced network admits; what the flow leaves
+    behind is genuinely unplaceable this round (no spare reachable
+    within pod/trunk capacity) and the broker fails it.  The result is
+    deterministic: the network is built in cell order and Dinic's
+    augmentation order is a function of insertion order alone.
+    """
+    total_demand = sum(demands.values())
+    total_spare = sum(spares.values())
+    if total_demand == 0 or total_spare == 0:
+        return {}
+    net, source, sink = build_spill_network(demands, spares, topology, n_cells)
+    dinic(net, source, sink, counter=counter)
+    routes: dict[tuple[int, int], int] = {}
+    for path in net.decompose_paths(source, sink):
+        origin_node = path[0].head
+        host_node = path[-1].tail
+        if not (isinstance(origin_node, tuple) and isinstance(host_node, tuple)):
+            raise RuntimeError(f"malformed spill path {path!r}")
+        key = (int(origin_node[1]), int(host_node[1]))
+        routes[key] = routes.get(key, 0) + 1
+    return routes

@@ -13,8 +13,38 @@ from __future__ import annotations
 import asyncio
 import heapq
 import itertools
+import time
 
-__all__ = ["Clock", "MonotonicClock", "VirtualClock"]
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "VirtualClock",
+    "perf_counter_ns",
+    "process_time_ns",
+]
+
+
+def perf_counter_ns() -> int:
+    """Wall-clock nanoseconds for *measurement only* (never scheduling).
+
+    The sanctioned wall-time read: R002 confines clock access to this
+    module so no scheduling decision can depend on it.  Benchmarks and
+    the fabric broker use it to report elapsed seconds; nothing derived
+    from it may feed back into which request gets which resource.
+    """
+    return time.perf_counter_ns()
+
+
+def process_time_ns() -> int:
+    """CPU nanoseconds consumed by this process, for measurement only.
+
+    The fabric's cells report their per-round compute cost with this:
+    on a host with fewer cores than cells, wall time measures the
+    host's timesharing, while process CPU time measures what a
+    dedicated core per cell would spend — the quantity the scaling
+    benchmark attributes (see ``benchmarks/bench_fabric.py``).
+    """
+    return time.process_time_ns()
 
 
 class Clock:
@@ -28,6 +58,17 @@ class Clock:
         """Suspend the calling task for ``dt`` time units."""
         raise NotImplementedError
 
+    def perf_ns(self) -> int:
+        """High-resolution nanoseconds for duration measurement.
+
+        Virtual clocks return virtual time, so durations of purely
+        synchronous work are exactly 0 and deterministic runs stay
+        byte-identical; the monotonic clock returns real wall
+        nanoseconds.  Used by the service's per-tick timing breakdown
+        (:meth:`~repro.service.metrics.ServiceMetrics.record_tick_timing`).
+        """
+        raise NotImplementedError
+
 
 class MonotonicClock(Clock):
     """Real time, as kept by the running asyncio event loop."""
@@ -37,6 +78,9 @@ class MonotonicClock(Clock):
 
     async def sleep(self, dt: float) -> None:
         await asyncio.sleep(max(dt, 0.0))
+
+    def perf_ns(self) -> int:
+        return time.perf_counter_ns()
 
 
 class VirtualClock(Clock):
@@ -71,6 +115,16 @@ class VirtualClock(Clock):
         future = asyncio.get_running_loop().create_future()
         heapq.heappush(self._sleepers, (self._now + dt, next(self._tie), future))
         await future
+
+    def perf_ns(self) -> int:
+        """Virtual now in nanoseconds: synchronous work measures 0.
+
+        Durations taken between two ``perf_ns()`` calls with no
+        intervening clock advance are exactly zero, so snapshots of
+        virtual-clock runs (the determinism tests' byte-identical
+        comparisons) are unaffected by host speed.
+        """
+        return int(self._now * 1_000_000_000)
 
     @property
     def pending_sleepers(self) -> int:

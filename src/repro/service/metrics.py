@@ -18,7 +18,7 @@ from repro.util.counters import OpCounter
 from repro.util.histogram import LatencyHistogram
 from repro.util.tables import Table
 
-__all__ = ["ServiceMetrics", "WAIT_BUCKET_TICKS"]
+__all__ = ["ServiceMetrics", "TICK_PHASES", "WAIT_BUCKET_TICKS"]
 
 # Wait-time histogram bucket upper bounds, in units of the tick
 # interval (the natural quantum: requests are only granted at ticks).
@@ -32,6 +32,13 @@ WAIT_BUCKET_TICKS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, math.inf)
 #: tick, so every legacy bucket bound ``b`` sits on the power-of-two
 #: boundary ``b * 1024`` and bucket counts stay exact.
 UNITS_PER_TICK = 1024
+
+#: The phases of one scheduling cycle whose durations are recorded
+#: (see :meth:`ServiceMetrics.record_tick_timing`): ``reconcile`` =
+#: fault reconciliation + deadline expiry, ``solve`` = batch selection
+#: + the flow solve, ``apply`` = mapping application, engine commit,
+#: and lease fan-out.
+TICK_PHASES: tuple[str, ...] = ("reconcile", "solve", "apply")
 
 
 class ServiceMetrics:
@@ -61,6 +68,15 @@ class ServiceMetrics:
         self._batch_sum = 0
         self._wait_sum = 0.0
         self.wait_hist = LatencyHistogram()
+        # Per-tick timing breakdown, one histogram per phase, in
+        # nanoseconds from Clock.perf_ns().  Under a VirtualClock all
+        # durations are exactly 0 (virtual time does not advance inside
+        # a cycle), so deterministic snapshots stay byte-identical;
+        # under the monotonic clock these attribute where a cell's tick
+        # budget actually goes — the fabric benchmark's raw material.
+        self.phase_hists: dict[str, LatencyHistogram] = {
+            phase: LatencyHistogram() for phase in TICK_PHASES
+        }
 
     # ------------------------------------------------------------------
     # Recording
@@ -111,6 +127,19 @@ class ServiceMetrics:
     def record_repair_applied(self) -> None:
         """A repair event restored a failed component."""
         self.repairs_applied += 1
+
+    def record_tick_timing(
+        self, *, reconcile_ns: int, solve_ns: int, apply_ns: int
+    ) -> None:
+        """One cycle's phase durations (integer nanoseconds, >= 0).
+
+        Negative inputs are clamped to 0: ``perf_ns`` sources are
+        monotone, but clamping keeps the recording path total-function
+        under any future clock.
+        """
+        self.phase_hists["reconcile"].record(max(reconcile_ns, 0))
+        self.phase_hists["solve"].record(max(solve_ns, 0))
+        self.phase_hists["apply"].record(max(apply_ns, 0))
 
     def record_tick(self, batch_size: int, queue_depth: int, degraded: bool) -> None:
         """One scheduling cycle finished."""
@@ -170,6 +199,26 @@ class ServiceMetrics:
             for label, value in self.wait_hist.percentiles().items()
         }
 
+    def tick_timing(self) -> dict[str, dict[str, float]]:
+        """Per-phase tick durations: total/mean and p50/p99, in ns.
+
+        The breakdown the fabric benchmark uses to attribute where a
+        cell's time goes (solve vs apply vs reconcile).  Quantiles come
+        from the per-phase :class:`LatencyHistogram`, so merging
+        per-cell metrics preserves them exactly.
+        """
+        timing: dict[str, dict[str, float]] = {}
+        for phase in TICK_PHASES:
+            hist = self.phase_hists[phase]
+            p = hist.percentiles()
+            timing[phase] = {
+                "total_ns": hist.total,
+                "mean_ns": hist.mean,
+                "p50_ns": p["p50"],
+                "p99_ns": p["p99"],
+            }
+        return timing
+
     def snapshot(self) -> dict[str, Any]:
         """All metrics as a plain dict (JSON-serialisable)."""
         return {
@@ -190,6 +239,7 @@ class ServiceMetrics:
             "max_queue_depth": self.max_queue_depth,
             "wait_histogram": self.wait_histogram(),
             "wait_percentiles": self.wait_percentiles(),
+            "tick_timing": self.tick_timing(),
             "solver_ops": dict(sorted(self.counter.counts.items())),
             "solver_instructions": self.counter.total(INSTRUCTION_WEIGHTS),
         }
@@ -212,6 +262,11 @@ class ServiceMetrics:
             table.add_row(f"wait {label}", count)
         for label, ticks in snap["wait_percentiles"].items():
             table.add_row(f"wait {label} (ticks)", f"{ticks:.3f}")
+        for phase, stats in snap["tick_timing"].items():
+            table.add_row(
+                f"tick {phase} (us, mean/p99)",
+                f"{stats['mean_ns'] / 1000:.1f} / {stats['p99_ns'] / 1000:.1f}",
+            )
         table.add_row("solver_instructions", f"{snap['solver_instructions']:.0f}")
         if snap["allocated"]:
             table.add_row(

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.sim.blocking import BlockingEstimate, estimate_blocking
 from repro.sim.workload import WorkloadSpec
+from repro.util.labels import label_hash
 from repro.util.tables import Table
 
 __all__ = ["SweepResult", "sweep"]
@@ -50,11 +50,12 @@ def _label_offset(label: str) -> int:
 
     Hashing the label (rather than the enumeration index) means
     inserting, removing, or reordering sweep points leaves every other
-    point's instance stream untouched.  SHA-256 is used for stability
-    across processes and Python versions (builtin ``hash`` is salted).
+    point's instance stream untouched.  Delegates to
+    :func:`repro.util.labels.label_hash` (SHA-256-backed) for
+    stability across processes and Python versions — builtin ``hash``
+    is salted and must never feed a seed.
     """
-    digest = hashlib.sha256(label.encode("utf-8")).digest()
-    return int.from_bytes(digest[:4], "big")
+    return label_hash(label, bits=32)
 
 
 def sweep(

@@ -9,6 +9,7 @@ from repro.util.rng import make_rng, spawn_rngs
 from repro.util.tables import Table, format_table
 from repro.util.counters import OpCounter
 from repro.util.histogram import LatencyHistogram
+from repro.util.labels import label_digest, label_hash, label_tag
 
 __all__ = [
     "make_rng",
@@ -17,4 +18,7 @@ __all__ = [
     "format_table",
     "OpCounter",
     "LatencyHistogram",
+    "label_digest",
+    "label_hash",
+    "label_tag",
 ]

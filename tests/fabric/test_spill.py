@@ -1,0 +1,102 @@
+"""Spill-tier tests: the reduced Clos network and max-flow routing."""
+
+import pytest
+
+from repro.fabric.spill import SpillTopology, build_spill_network, solve_spill
+
+
+def total(routes):
+    return sum(routes.values())
+
+
+class TestSolveSpill:
+    def test_routes_demand_to_spare(self):
+        routes = solve_spill(
+            {0: 3}, {1: 5}, topology=SpillTopology(), n_cells=2
+        )
+        assert routes == {(0, 1): 3}
+
+    def test_respects_spare_capacity(self):
+        routes = solve_spill(
+            {0: 10}, {1: 4}, topology=SpillTopology(uplink=32), n_cells=2
+        )
+        assert routes == {(0, 1): 4}
+
+    def test_respects_origin_uplink(self):
+        """An origin can export at most ``uplink`` requests per round
+        no matter how much spare exists elsewhere."""
+        routes = solve_spill(
+            {0: 50}, {1: 50}, topology=SpillTopology(uplink=8), n_cells=2
+        )
+        assert total(routes) == 8
+
+    def test_trunk_bounds_cross_pod_traffic(self):
+        """Demand in pod 0, spare in pod 1: the core trunk caps it."""
+        topo = SpillTopology(group_size=1, uplink=100, trunk=5)
+        routes = solve_spill({0: 50}, {1: 50}, topology=topo, n_cells=2)
+        assert total(routes) == 5
+
+    def test_intra_pod_traffic_bypasses_trunk(self):
+        """Same-pod spills use the pod arc, not the core trunk."""
+        topo = SpillTopology(group_size=2, uplink=10, trunk=1)
+        routes = solve_spill({0: 8}, {1: 8}, topology=topo, n_cells=2)
+        assert total(routes) == 8
+
+    def test_splits_across_multiple_hosts(self):
+        topo = SpillTopology(group_size=4, uplink=8, trunk=32)
+        routes = solve_spill(
+            {0: 8}, {1: 3, 2: 3, 3: 3}, topology=topo, n_cells=4
+        )
+        assert total(routes) == 8
+        assert all(origin == 0 for origin, _ in routes)
+        for (_, host), count in routes.items():
+            assert count <= {1: 3, 2: 3, 3: 3}[host]
+
+    def test_empty_cases(self):
+        topo = SpillTopology()
+        assert solve_spill({}, {1: 5}, topology=topo, n_cells=2) == {}
+        assert solve_spill({0: 5}, {}, topology=topo, n_cells=2) == {}
+
+    def test_deterministic(self):
+        demands = {0: 5, 2: 7, 5: 1}
+        spares = {1: 4, 3: 6, 4: 2, 6: 9}
+        topo = SpillTopology(group_size=2, uplink=4, trunk=8)
+        first = solve_spill(demands, spares, topology=topo, n_cells=8)
+        for _ in range(3):
+            assert (
+                solve_spill(demands, spares, topology=topo, n_cells=8)
+                == first
+            )
+
+
+class TestBuildNetwork:
+    def test_single_pod_has_no_core(self):
+        net, source, sink = build_spill_network(
+            {0: 1}, {1: 1}, SpillTopology(group_size=4), n_cells=4
+        )
+        assert "core" not in net
+
+    def test_multi_pod_has_core(self):
+        net, source, sink = build_spill_network(
+            {0: 1}, {5: 1}, SpillTopology(group_size=2), n_cells=6
+        )
+        assert "core" in net
+
+    def test_reduced_size_is_independent_of_ports(self):
+        """The whole point: the spill solve is over cells, not ports —
+        a handful of nodes regardless of installation size."""
+        net, _, _ = build_spill_network(
+            {i: 3 for i in range(8)},
+            {i: 3 for i in range(8)},
+            SpillTopology(group_size=4),
+            n_cells=8,
+        )
+        assert net.n_nodes <= 2 + 2 * 8 + 2 * 2 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpillTopology(group_size=0)
+        with pytest.raises(ValueError):
+            SpillTopology(uplink=0)
+        with pytest.raises(ValueError):
+            SpillTopology(trunk=0)

@@ -221,3 +221,69 @@ class TestMergeAndSerialise:
             LatencyHistogram.from_dict(
                 {"fine_bits": 7, "buckets": {"0": 2}, "count": 3}
             )
+
+
+# ----------------------------------------------------------------------
+# Cross-process use (the fabric ships histograms between processes)
+# ----------------------------------------------------------------------
+class TestCrossProcess:
+    def test_pickle_round_trip_preserves_queries(self):
+        """The broker receives pickled per-cell histograms over pipes;
+        a round-trip must preserve every query exactly."""
+        import pickle
+
+        hist = LatencyHistogram()
+        for value in (0, 1, 7, 300, 300, 8191, 10**9):
+            hist.record(value)
+        clone = pickle.loads(pickle.dumps(hist))
+        assert clone.to_dict() == hist.to_dict()
+        assert clone.percentiles() == hist.percentiles()
+        assert clone.count_below(1024) == hist.count_below(1024)
+        # The clone is independent state, not a shared view.
+        clone.record(5)
+        assert clone.count == hist.count + 1
+
+    def test_merge_unequal_populations(self):
+        """Merging a busy cell into a nearly idle one keeps exact
+        counts, extremes, and totals (no averaging artifacts)."""
+        busy, idle = LatencyHistogram(), LatencyHistogram()
+        for value in range(1000):
+            busy.record(value)
+        idle.record(2**20)
+        idle.merge(busy)
+        assert idle.count == 1001
+        assert idle.min_value == 0
+        assert idle.max_value == 2**20
+        assert idle.total == sum(range(1000)) + 2**20
+        # The single huge sample is the strict maximum of the merged
+        # population, so the top quantile's bucket must contain it.
+        low, high = idle.bucket_bounds(idle.bucket_index(2**20))
+        assert low <= idle.quantile(1001, 1001) <= high
+
+    @given(
+        shards=st.lists(
+            st.lists(st.integers(0, 2**30), max_size=60),
+            min_size=2,
+            max_size=5,
+        ),
+        numerator=st.integers(1, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merge_then_quantile_matches_single_histogram(
+        self, shards, numerator
+    ):
+        """Property: quantiles of per-shard histograms merged pairwise
+        equal quantiles of one histogram that saw every sample — the
+        fabric's merged wait/tick percentiles are exact, not an
+        approximation over shards."""
+        merged = LatencyHistogram()
+        union = LatencyHistogram()
+        for shard in shards:
+            hist = LatencyHistogram()
+            for value in shard:
+                hist.record(value)
+                union.record(value)
+            merged.merge(hist)
+        assert merged.to_dict() == union.to_dict()
+        if union.count:
+            assert merged.quantile(numerator) == union.quantile(numerator)
